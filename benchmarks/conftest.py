@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure's computation runs exactly once per session and its rendered
+table is both printed (visible with ``pytest -s`` and in the benchmark
+report's extra info) and saved under ``benchmarks/results/``.
+
+Scale knobs: REPRO_BENCH_KEYS / REPRO_BENCH_OPS / REPRO_BENCH_WORKERS
+(see repro.bench.harness).  The defaults regenerate every figure in
+roughly half an hour; REPRO_BENCH_KEYS=15000 gives a quick smoke pass.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)

@@ -1,0 +1,87 @@
+"""Ablations of the design choices the paper argues for (Sec. III).
+
+* Succinct filter cache on/off: without it the client reads Theta(L)
+  hash entries per operation - the message count explodes and saturation
+  arrives earlier (Sec. III-B's motivation).
+* Scan doorbell batching on/off (the YCSB-E mechanism, Sec. V-B).
+* Hotness-bit second chance vs plain random eviction (Sec. III-B's
+  hot-prefix mechanism).
+* Fingerprint width vs false-positive rate (the paper's ">=10 bits keeps
+  FP under 1%" claim).
+* Round trips vs dataset size: the scaling argument connecting our
+  small simulated trees to the paper's 60 M-key trees.
+"""
+
+from conftest import save_result
+
+from repro.bench import (
+    ablation_depth_scaling,
+    ablation_filter_cache,
+    ablation_fingerprint_bits,
+    ablation_hotness,
+    ablation_scan_batching,
+    format_table,
+)
+
+
+def _table(rows):
+    headers = list(rows[0].keys())
+    return format_table(headers, [[r[h] for h in headers] for r in rows])
+
+
+def test_filter_cache_cuts_messages(benchmark):
+    rows = benchmark.pedantic(ablation_filter_cache, rounds=1, iterations=1)
+    save_result("ablation_filter_cache", _table(rows))
+    with_filter = next(r for r in rows if r["system"] == "Sphinx")
+    without = next(r for r in rows if r["system"] == "Sphinx-NoFilter")
+    # Theta(L) hash-entry reads vs one: messages/op collapse...
+    assert with_filter["messages_per_op"] < 0.55 * without["messages_per_op"]
+    # ...and throughput improves under load.
+    assert with_filter["throughput_mops"] > without["throughput_mops"]
+    # Round trips are similar (both resolve the node in ~2 RTs + leaf) -
+    # the filter's win is bandwidth/messages, exactly as the paper argues.
+    assert with_filter["round_trips_per_op"] < \
+        without["round_trips_per_op"] + 1.0
+
+
+def test_scan_doorbell_batching(benchmark):
+    rows = benchmark.pedantic(ablation_scan_batching, rounds=1, iterations=1)
+    save_result("ablation_scan_batching", _table(rows))
+    batched = next(r for r in rows if "on" in r["system"])
+    sequential = next(r for r in rows if "off" in r["system"])
+    assert batched["throughput_mops"] > 1.5 * sequential["throughput_mops"]
+    assert batched["round_trips_per_op"] < \
+        0.6 * sequential["round_trips_per_op"]
+
+
+def test_hotness_second_chance(benchmark):
+    rows = benchmark.pedantic(ablation_hotness, rounds=1, iterations=1)
+    save_result("ablation_hotness", _table(rows))
+    second = next(r for r in rows if r["policy"] == "second-chance")
+    random_ev = next(r for r in rows if r["policy"] == "random")
+    assert second["hot_hit_rate"] > random_ev["hot_hit_rate"] + 0.1
+
+
+def test_fingerprint_bits(benchmark):
+    rows = benchmark.pedantic(ablation_fingerprint_bits,
+                              rounds=1, iterations=1)
+    save_result("ablation_fingerprint_bits", _table(rows))
+    by_bits = {r["fp_bits"]: r for r in rows}
+    assert by_bits[10]["fp_rate"] < 0.01   # paper: >=10 bits -> < 1%
+    assert by_bits[12]["fp_rate"] < 0.01
+    assert by_bits[4]["fp_rate"] > by_bits[12]["fp_rate"]
+    for row in rows:
+        assert row["fp_rate"] <= row["bound"] * 1.5 + 1e-3
+
+
+def test_depth_scaling_trend(benchmark):
+    rows = benchmark.pedantic(ablation_depth_scaling, rounds=1, iterations=1)
+    save_result("ablation_depth_scaling", _table(rows))
+    sphinx = [r for r in rows if r["system"] == "Sphinx"]
+    art = [r for r in rows if r["system"] == "ART"]
+    # Sphinx's search cost is depth-independent (~3 round trips)...
+    assert max(r["rts_per_search"] for r in sphinx) < 3.6
+    # ...while the traversal baseline grows with the tree.
+    assert art[-1]["rts_per_search"] > art[0]["rts_per_search"]
+    assert art[-1]["rts_per_search"] > \
+        sphinx[-1]["rts_per_search"]

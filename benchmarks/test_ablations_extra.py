@@ -1,0 +1,55 @@
+"""Extended ablations: cache-budget and request-skew sensitivity.
+
+These probe the *why* behind the paper's Sec. V-B observations:
+
+* Sphinx beats SMART+C with a tenth of its CN cache because the filter
+  is succinct - its hit behaviour saturates at a tiny budget, while
+  SMART's node cache keeps improving with bytes.
+* Robustness to request skew: flattening zipfian to uniform costs Sphinx
+  only the filter's hotness-eviction margin (~10%), and its advantage
+  over SMART holds at any skew (SMART's paper-scaled cache is equally
+  overwhelmed by a deep email tree under both distributions).
+"""
+
+from conftest import save_result
+
+from repro.bench import (
+    ablation_cache_budget,
+    ablation_distribution_skew,
+    format_table,
+)
+
+
+def _table(rows):
+    headers = list(rows[0].keys())
+    return format_table(headers, [[r[h] for h in headers] for r in rows])
+
+
+def test_cache_budget_sensitivity(benchmark):
+    rows = benchmark.pedantic(ablation_cache_budget, rounds=1, iterations=1)
+    save_result("ablation_cache_budget", _table(rows))
+    sphinx = [r for r in rows if r["system"].startswith("Sphinx")]
+    smart = [r for r in rows if r["system"].startswith("SMART")]
+    # Sphinx at a tenth of the budget stays within ~35% of 10x budget
+    # (the filter degrades gracefully under eviction pressure).
+    small = sphinx[0]["throughput_mops"]
+    large = sphinx[-1]["throughput_mops"]
+    assert small > 0.65 * large, (small, large)
+    # Sphinx with a tenth of the budget still beats SMART with 10x.
+    assert small > smart[-1]["throughput_mops"]
+
+
+def test_distribution_skew_robustness(benchmark):
+    rows = benchmark.pedantic(ablation_distribution_skew,
+                              rounds=1, iterations=1)
+    save_result("ablation_distribution_skew", _table(rows))
+    by = {(r["system"], r["workload"]): r["throughput_mops"] for r in rows}
+    # Neither system falls off a cliff when the skew flattens (the filter
+    # degrades gracefully via hotness eviction; SMART's scaled cache is
+    # equally overwhelmed by the deep email tree either way)...
+    for system in ("SMART", "Sphinx"):
+        ratio = by[(system, "C-uniform")] / by[(system, "C-zipfian")]
+        assert 0.7 < ratio < 1.15, (system, ratio)
+    # ...and Sphinx's margin holds regardless of the distribution.
+    assert by[("Sphinx", "C-uniform")] > 2.0 * by[("SMART", "C-uniform")]
+    assert by[("Sphinx", "C-zipfian")] > 2.0 * by[("SMART", "C-zipfian")]

@@ -1,0 +1,49 @@
+"""Fig 5 - scalability under the write-intensive YCSB-A workload.
+
+Sweeps worker counts (the paper's 6-192 coroutines over 3 CNs) and
+regenerates the throughput-latency curves.  Shape assertions:
+
+* every system gains throughput from 6 to a few dozen workers (the
+  latency-hiding regime) and then saturates;
+* Sphinx reaches the highest peak throughput on both datasets (paper:
+  up to 2.6x on u64, 6.1x on email) with lower latency at the peak;
+* saturation is caused by NIC load: systems with more messages/op
+  saturate at lower throughput.
+"""
+
+from conftest import save_result
+
+from repro.bench import fig5_scalability, render_fig5
+
+
+def _series_mops(result, system):
+    return [r["throughput_mops"] for r in result.series(system)]
+
+
+def test_fig5_u64(benchmark):
+    result = benchmark.pedantic(lambda: fig5_scalability("u64"),
+                                rounds=1, iterations=1)
+    save_result("fig5_u64", render_fig5(result))
+    benchmark.extra_info["rows"] = result.rows
+    for system in ("ART", "SMART", "SMART+C", "Sphinx"):
+        series = _series_mops(result, system)
+        assert max(series) > 1.5 * series[0], (system, series)
+    assert result.peak_throughput("Sphinx") >= \
+        0.95 * max(result.peak_throughput(s)
+                   for s in ("ART", "SMART", "SMART+C"))
+
+
+def test_fig5_email(benchmark):
+    result = benchmark.pedantic(lambda: fig5_scalability("email"),
+                                rounds=1, iterations=1)
+    save_result("fig5_email", render_fig5(result))
+    benchmark.extra_info["rows"] = result.rows
+    for system in ("ART", "SMART", "SMART+C", "Sphinx"):
+        series = _series_mops(result, system)
+        assert max(series) > 1.5 * series[0], (system, series)
+    peak_sphinx = result.peak_throughput("Sphinx")
+    for other in ("ART", "SMART", "SMART+C"):
+        assert peak_sphinx > result.peak_throughput(other), other
+    # Latency advantage at peak load (paper: up to 11.7x lower on email).
+    assert result.latency_at_peak("Sphinx") < \
+        result.latency_at_peak("ART")

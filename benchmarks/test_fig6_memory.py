@@ -1,0 +1,42 @@
+"""Fig 6 - MN-side space consumption.
+
+Bulk-inserts the datasets into ART, SMART and Sphinx and measures the
+bytes each system actually allocated in simulated MN memory (the layouts
+are byte-accurate, so this is a real measurement, not a model):
+
+* the inner node hash table adds only a small single-digit percentage
+  over plain ART (paper: 3.3% u64 / 4.9% email);
+* SMART's Node-256 preallocation costs a multiple of ART's footprint
+  (paper: 2.1-3.0x).
+"""
+
+from conftest import save_result
+
+from repro.bench import fig6_memory, render_fig6
+
+
+def test_fig6_memory(benchmark):
+    result = benchmark.pedantic(fig6_memory, rounds=1, iterations=1)
+    save_result("fig6_memory", render_fig6(result))
+    benchmark.extra_info["rows"] = result.rows
+    for dataset in ("u64", "email"):
+        art = result.total("ART", dataset)
+        sphinx = result.total("Sphinx", dataset)
+        smart = result.total("SMART", dataset)
+        inht_overhead = (sphinx - art) / art
+        assert 0.0 <= inht_overhead < 0.12, (dataset, inht_overhead)
+        # Paper: 2.1-3.0x.  Our synthetic email keys branch more densely
+        # than the paper's dump (~0.4 inner nodes/key vs ~0.1), which
+        # amplifies the Node-256 preallocation penalty - same direction,
+        # larger factor (see EXPERIMENTS.md).
+        assert 1.5 < smart / art < 8.0, (dataset, smart / art)
+
+
+def test_fig6_inht_share_is_small(benchmark):
+    """Sec. III-A's claim from the hash-table side: entries are 8 B per
+    inner node, so the INHT is a sliver of the index."""
+    result = benchmark.pedantic(fig6_memory, rounds=1, iterations=1)
+    for row in result.rows:
+        if row["system"] != "Sphinx":
+            continue
+        assert row["hash_table"] < 0.12 * row["total"], row

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scenario: cache coherence across compute nodes.
+
+One compute node keeps inserting keys under a shared prefix, forcing node
+splits and node type switches on the memory side; a second compute node
+concurrently reads.  With node-based caching this is the hard case (the
+paper's Sec. II-B); Sphinx's succinct filter cache stays coherent because
+it tracks only prefix *existence*:
+
+* the reader's filter starts stale and heals through the freshness rule,
+* type switches retire old nodes (Invalid) and repoint the hash table,
+  which the reader follows without ever caching node contents.
+
+The script prints what the reader observed - every read returns the
+correct value while the structure churns underneath it.
+
+Run:  python examples/multi_client_coherence.py
+"""
+
+from repro.art import encode_str
+from repro.core import SphinxConfig, SphinxIndex
+from repro.dm import Cluster, ClusterConfig
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(num_cns=2, num_mns=3))
+    index = SphinxIndex(cluster, SphinxConfig(filter_budget_bytes=1 << 14))
+    writer, reader = index.client(0), index.client(1)
+
+    # Seed one key; the reader learns its path once.
+    seed_key = encode_str("tenant/alpha/users/000")
+    direct = cluster.direct_executor()
+    direct.run(writer.insert(seed_key, b"v0"))
+    direct.run(reader.search(seed_key))
+
+    churn_keys = [encode_str(f"tenant/alpha/users/{i:03d}")
+                  for i in range(1, 200)]
+    observations = []
+
+    def writer_proc():
+        executor = cluster.sim_executor(0)
+        for i, key in enumerate(churn_keys):
+            yield from executor.run(writer.insert(key, f"v{i}".encode()))
+
+    def reader_proc():
+        executor = cluster.sim_executor(1)
+        for round_no in range(300):
+            value = yield from executor.run(reader.search(seed_key))
+            observations.append(value)
+
+    p1 = cluster.engine.process(writer_proc())
+    p2 = cluster.engine.process(reader_proc())
+    for process in (p1, p2):
+        cluster.engine.run_until_complete(process)
+
+    wrong = [v for v in observations if v != b"v0"]
+    print(f"reads during churn : {len(observations)}")
+    print(f"incorrect results  : {len(wrong)}")
+    print(f"writer splits      : {writer.metrics.leaf_splits} leaf, "
+          f"{writer.metrics.edge_splits} edge, "
+          f"{writer.metrics.type_switches} type switches")
+    print(f"reader retries     : {reader.metrics.op_restarts} "
+          f"(stale hash entries / invalid nodes healed)")
+    print(f"reader filter fills: {reader.metrics.stale_filter_fills} "
+          f"(freshness rule, Sec. IV)")
+    print(f"reader CN cache    : {reader.cn_cache_bytes()} bytes "
+          "(succinct - no node contents cached, nothing to invalidate)")
+    assert not wrong, "coherence violated!"
+    print("\nAll reads returned the correct value while the remote "
+          "structure churned: the succinct filter cache never went "
+          "incoherent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduction of Sphinx (DAC 2025): a hybrid index for disaggregated
+memory with a succinct filter cache, on a simulated RDMA substrate.
+
+Public entry points:
+
+* :mod:`repro.dm` - the simulated disaggregated-memory cluster.
+* :mod:`repro.core` - the Sphinx index client.
+* :mod:`repro.baselines` - SMART and ART-on-DM comparison systems.
+* :mod:`repro.ycsb` - workload generators and the benchmark runner.
+* :mod:`repro.bench` - harnesses regenerating every figure in the paper.
+
+Convenience re-exports below cover the quickstart path::
+
+    from repro import Cluster, ClusterConfig, SphinxConfig, SphinxIndex
+"""
+
+from .baselines import ArtDmIndex, SmartConfig, SmartIndex
+from .core import SphinxConfig, SphinxIndex
+from .dm import Cluster, ClusterConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArtDmIndex",
+    "SmartConfig",
+    "SmartIndex",
+    "SphinxConfig",
+    "SphinxIndex",
+    "Cluster",
+    "ClusterConfig",
+    "__version__",
+]

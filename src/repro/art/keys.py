@@ -1,0 +1,79 @@
+"""Binary-comparable key codecs.
+
+ART indexes byte strings in lexicographic order and requires the key set
+to be **prefix-free** (no key may be a strict prefix of another), otherwise
+a key would terminate in the middle of an inner node.  The two datasets of
+the paper satisfy this differently:
+
+* ``u64``: fixed-width 8-byte big-endian integers - equal lengths are
+  never prefixes of each other, and big-endian preserves numeric order.
+* ``email``: variable-length ASCII strings terminated with a 0x00 byte
+  (emails never contain NUL), the same convention as the original ART
+  paper.
+"""
+
+from __future__ import annotations
+
+from ..errors import KeyCodecError
+
+TERMINATOR = 0x00
+MAX_KEY_LEN = 255  # depth fits the 8-bit header field
+
+
+def encode_u64(value: int) -> bytes:
+    """Encode an unsigned 64-bit integer as a binary-comparable key."""
+    if not 0 <= value < (1 << 64):
+        raise KeyCodecError(f"u64 key out of range: {value}")
+    return value.to_bytes(8, "big")
+
+
+def decode_u64(key: bytes) -> int:
+    if len(key) != 8:
+        raise KeyCodecError(f"u64 key must be 8 bytes, got {len(key)}")
+    return int.from_bytes(key, "big")
+
+
+def encode_str(text: str) -> bytes:
+    """Encode a string key (e.g. an email address) with a NUL terminator."""
+    raw = text.encode("utf-8")
+    return encode_bytes_terminated(raw)
+
+
+def encode_bytes_terminated(raw: bytes) -> bytes:
+    """Terminate a raw byte key; rejects embedded NULs."""
+    if TERMINATOR in raw:
+        raise KeyCodecError("string keys must not contain NUL bytes")
+    if len(raw) + 1 > MAX_KEY_LEN:
+        raise KeyCodecError(f"key too long ({len(raw)} bytes, max "
+                            f"{MAX_KEY_LEN - 1})")
+    if not raw:
+        raise KeyCodecError("empty keys are not supported")
+    return raw + bytes([TERMINATOR])
+
+
+def decode_str(key: bytes) -> str:
+    if not key or key[-1] != TERMINATOR:
+        raise KeyCodecError("not a terminated string key")
+    return key[:-1].decode("utf-8")
+
+
+def common_prefix_len(a: bytes, b: bytes) -> int:
+    """Length of the longest common prefix of ``a`` and ``b``."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit
+
+
+def check_prefix_free(keys) -> None:
+    """Raise if any key in ``keys`` is a strict prefix of another.
+
+    O(n log n); intended for dataset validation, not hot paths.
+    """
+    ordered = sorted(keys)
+    for prev, cur in zip(ordered, ordered[1:]):
+        if len(prev) < len(cur) and cur[:len(prev)] == prev:
+            raise KeyCodecError(
+                f"key {prev!r} is a prefix of {cur!r}; use a terminated codec"
+            )

@@ -1,0 +1,243 @@
+"""A local in-memory Adaptive Radix Tree (reference implementation).
+
+This is the algorithmic ground truth for the remote indexes: the same
+path-compression rules (lazy leaf expansion, merged single-child chains)
+expressed over plain Python objects.  It serves three roles:
+
+* a model/oracle in property-based tests of the remote trees,
+* the structural census (node counts by type/depth) that drives the
+  space-consumption analysis of Fig 6,
+* a fast correctness oracle for YCSB runs.
+
+Like the remote trees (and the paper), deletion removes the leaf but does
+not collapse inner nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import KeyCodecError
+from .keys import common_prefix_len
+from .layout import NODE_CAPACITY, node_size, smallest_type_for
+
+
+@dataclass
+class _Leaf:
+    key: bytes
+    value: bytes
+
+
+@dataclass
+class _Inner:
+    depth: int                  # == len(prefix)
+    prefix: bytes               # full key prefix this node represents
+    children: Dict[int, Union["_Inner", _Leaf]] = field(default_factory=dict)
+
+
+@dataclass
+class Census:
+    """Structural summary of a tree (feeds the Fig 6 space model)."""
+
+    leaves: int = 0
+    inner_nodes: int = 0
+    inner_by_type: Dict[int, int] = field(default_factory=dict)
+    max_depth: int = 0
+    inner_bytes: int = 0
+
+    def record_inner(self, child_count: int, depth: int) -> None:
+        node_type = smallest_type_for(max(child_count, 1))
+        self.inner_nodes += 1
+        self.inner_by_type[node_type] = self.inner_by_type.get(node_type, 0) + 1
+        self.inner_bytes += node_size(node_type)
+        self.max_depth = max(self.max_depth, depth)
+
+
+class LocalART:
+    """Dictionary-like ART over prefix-free byte keys."""
+
+    def __init__(self):
+        self._root = _Inner(depth=0, prefix=b"")
+        self._count = 0
+        self._deletes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- search ---------------------------------------------------------
+    def search(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key`` or None."""
+        node = self._root
+        while True:
+            if len(key) <= node.depth:
+                return None  # prefix-free keys never end inside an inner node
+            child = node.children.get(key[node.depth])
+            if child is None:
+                return None
+            if isinstance(child, _Leaf):
+                return child.value if child.key == key else None
+            if key[:child.depth] != child.prefix:
+                return None  # diverges inside a compressed path
+            node = child
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.search(key) is not None
+
+    # -- insert / update --------------------------------------------------
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert or overwrite; returns True if the key was new."""
+        self._check_key(key)
+        node = self._root
+        while True:
+            partial = key[node.depth]
+            child = node.children.get(partial)
+            if child is None:
+                node.children[partial] = _Leaf(key, value)
+                self._count += 1
+                return True
+            if isinstance(child, _Leaf):
+                if child.key == key:
+                    child.value = value
+                    return False
+                split_depth = common_prefix_len(key, child.key)
+                new_inner = _Inner(split_depth, key[:split_depth])
+                new_inner.children[child.key[split_depth]] = child
+                new_inner.children[key[split_depth]] = _Leaf(key, value)
+                node.children[partial] = new_inner
+                self._count += 1
+                return True
+            if key[:child.depth] == child.prefix:
+                node = child
+                continue
+            # Key diverges inside child's compressed path: split the edge.
+            split_depth = common_prefix_len(key, child.prefix)
+            new_inner = _Inner(split_depth, key[:split_depth])
+            new_inner.children[child.prefix[split_depth]] = child
+            new_inner.children[key[split_depth]] = _Leaf(key, value)
+            node.children[partial] = new_inner
+            self._count += 1
+            return True
+
+    # -- delete ----------------------------------------------------------
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        node = self._root
+        while True:
+            if len(key) <= node.depth:
+                return False
+            partial = key[node.depth]
+            child = node.children.get(partial)
+            if child is None:
+                return False
+            if isinstance(child, _Leaf):
+                if child.key != key:
+                    return False
+                del node.children[partial]
+                self._count -= 1
+                self._deletes += 1
+                return True
+            if key[:child.depth] != child.prefix:
+                return False
+            node = child
+
+    # -- ordered iteration / scans ----------------------------------------
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, value) pairs in lexicographic key order."""
+        yield from self._iter_node(self._root)
+
+    def _iter_node(self, node: Union[_Inner, _Leaf]):
+        if isinstance(node, _Leaf):
+            yield node.key, node.value
+            return
+        for partial in sorted(node.children):
+            yield from self._iter_node(node.children[partial])
+
+    def scan(self, lo: bytes, hi: bytes) -> List[Tuple[bytes, bytes]]:
+        """All pairs with lo <= key <= hi, in order."""
+        out: List[Tuple[bytes, bytes]] = []
+        self._scan_node(self._root, lo, hi, out, None)
+        return out
+
+    def scan_count(self, lo: bytes, count: int) -> List[Tuple[bytes, bytes]]:
+        """The first ``count`` pairs with key >= lo (YCSB-E style scans)."""
+        out: List[Tuple[bytes, bytes]] = []
+        self._scan_node(self._root, lo, None, out, count)
+        return out
+
+    def _scan_node(self, node, lo: bytes, hi: Optional[bytes],
+                   out: List[Tuple[bytes, bytes]],
+                   limit: Optional[int]) -> bool:
+        """DFS collecting in-range leaves; returns False to stop early."""
+        if isinstance(node, _Leaf):
+            if node.key < lo:
+                return True
+            if hi is not None and node.key > hi:
+                return False
+            out.append((node.key, node.value))
+            return limit is None or len(out) < limit
+        # Prune whole subtrees via the node prefix.
+        if node.prefix:
+            if node.prefix < lo[:node.depth]:
+                return True   # entire subtree below the range; keep going
+            if hi is not None and node.prefix > hi[:node.depth]:
+                return False  # entire subtree above the range; stop
+        for partial in sorted(node.children):
+            if not self._scan_node(node.children[partial], lo, hi, out, limit):
+                return False
+        return True
+
+    # -- structural census -------------------------------------------------
+    def census(self) -> Census:
+        census = Census()
+        stack: List[_Inner] = [self._root]
+        while stack:
+            node = stack.pop()
+            census.record_inner(len(node.children), node.depth)
+            for child in node.children.values():
+                if isinstance(child, _Leaf):
+                    census.leaves += 1
+                else:
+                    stack.append(child)
+        return census
+
+    def inner_prefixes(self) -> Iterator[bytes]:
+        """Full prefixes of all inner nodes (what the INHT/filter track)."""
+        stack: List[_Inner] = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node.prefix
+            for child in node.children.values():
+                if isinstance(child, _Inner):
+                    stack.append(child)
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not key:
+            raise KeyCodecError("empty keys are not supported")
+        if len(key) > 255:
+            raise KeyCodecError("keys longer than 255 bytes are unsupported")
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants (used by property tests)."""
+        self._check_node(self._root, b"")
+        assert sum(1 for _ in self.items()) == self._count
+
+    def _check_node(self, node: _Inner, expected_prefix: bytes) -> None:
+        assert node.depth == len(node.prefix)
+        assert node.prefix == expected_prefix
+        if node is not self._root and self._deletes == 0:
+            # Inserts never create single-child inner nodes (path
+            # compression); deletes may leave them behind (no collapse).
+            assert len(node.children) >= 2, "single-child inner node survived"
+        for partial, child in node.children.items():
+            if isinstance(child, _Leaf):
+                assert child.key[:node.depth] == node.prefix
+                assert child.key[node.depth] == partial
+                assert NODE_CAPACITY  # silence linters; capacity is layout's
+            else:
+                assert child.depth > node.depth
+                assert child.prefix[:node.depth] == node.prefix
+                assert child.prefix[node.depth] == partial
+                self._check_node(child, child.prefix)

@@ -1,0 +1,19 @@
+"""Comparison systems: SMART, ART-on-DM, and a B+ tree extension."""
+
+from .art_dm import ArtDmClient, ArtDmConfig, ArtDmIndex
+from .bplus import BplusClient, BplusConfig, BplusIndex
+from .cache import NodeCache
+from .smart import SmartClient, SmartConfig, SmartIndex
+
+__all__ = [
+    "ArtDmClient",
+    "ArtDmConfig",
+    "ArtDmIndex",
+    "BplusClient",
+    "BplusConfig",
+    "BplusIndex",
+    "NodeCache",
+    "SmartClient",
+    "SmartConfig",
+    "SmartIndex",
+]

@@ -1,0 +1,52 @@
+"""Baseline: the original ART ported to disaggregated memory.
+
+As in the paper's evaluation, this port uses one-sided RDMA verbs for all
+index and data accesses but keeps ART's algorithm untouched: every
+operation starts at the root and traverses the tree one node per round
+trip, and scans read leaves sequentially (no doorbell batching) - the two
+properties responsible for its poor DM performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..dm.cluster import Cluster
+from ..core.remote_art import RemoteArtTree
+
+
+@dataclass(frozen=True)
+class ArtDmConfig:
+    max_retries: int = 64
+    backoff_ns: int = 2_000
+
+
+class ArtDmIndex:
+    """Cluster-wide state of the ART-on-DM baseline (just the tree)."""
+
+    def __init__(self, cluster: Cluster, config: ArtDmConfig | None = None):
+        self.cluster = cluster
+        self.config = config if config is not None else ArtDmConfig()
+        self.root_addr = RemoteArtTree.create_root(cluster)
+        self._clients: Dict[int, ArtDmClient] = {}
+
+    def client(self, cn_id: int) -> "ArtDmClient":
+        if cn_id not in self._clients:
+            self._clients[cn_id] = ArtDmClient(self, cn_id)
+        return self._clients[cn_id]
+
+
+class ArtDmClient(RemoteArtTree):
+    """A compute-node client: the engine defaults *are* plain ART-on-DM."""
+
+    def __init__(self, index: ArtDmIndex, cn_id: int):
+        super().__init__(index.cluster, index.root_addr,
+                         max_retries=index.config.max_retries,
+                         backoff_ns=index.config.backoff_ns)
+        self.index = index
+        self.cn_id = cn_id
+        self.scan_batched = False  # no doorbell batching in the port
+
+    def cn_cache_bytes(self) -> int:
+        return 0  # the port keeps no CN-side cache

@@ -1,0 +1,96 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Usage::
+
+    python -m repro.bench.cli fig4 --dataset u64
+    python -m repro.bench.cli fig5 --dataset email
+    python -m repro.bench.cli fig6
+    python -m repro.bench.cli ablations
+    python -m repro.bench.cli all
+
+Scale knobs: ``--keys`` (dataset size), ``--ops`` (timed operations per
+run), ``--workers``; environment variables REPRO_BENCH_KEYS /
+REPRO_BENCH_OPS / REPRO_BENCH_WORKERS set the defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import (
+    ablation_cache_budget,
+    ablation_depth_scaling,
+    ablation_distribution_skew,
+    ablation_filter_cache,
+    ablation_fingerprint_bits,
+    ablation_hotness,
+    ablation_scan_batching,
+    fig4_ycsb,
+    fig5_scalability,
+    fig6_memory,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+)
+from .harness import DEFAULT_KEYS, DEFAULT_OPS, DEFAULT_WORKERS
+from .reporting import banner, format_table
+
+
+def _rows_table(rows) -> str:
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row[h] for h in headers] for row in rows])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("figure", choices=["fig4", "fig5", "fig6",
+                                           "ablations", "all"])
+    parser.add_argument("--dataset", choices=["u64", "email", "both"],
+                        default="both")
+    parser.add_argument("--keys", type=int, default=DEFAULT_KEYS)
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    args = parser.parse_args(argv)
+    datasets = ["u64", "email"] if args.dataset == "both" else [args.dataset]
+
+    if args.figure in ("fig4", "all"):
+        for dataset in datasets:
+            print(render_fig4(fig4_ycsb(dataset, num_keys=args.keys,
+                                        ops=args.ops, workers=args.workers)))
+    if args.figure in ("fig5", "all"):
+        for dataset in datasets:
+            print(render_fig5(fig5_scalability(dataset, num_keys=args.keys,
+                                               ops=args.ops)))
+    if args.figure in ("fig6", "all"):
+        print(render_fig6(fig6_memory(num_keys=args.keys)))
+    if args.figure in ("ablations", "all"):
+        print(banner("Ablation - succinct filter cache on/off (YCSB-C)"))
+        print(_rows_table(ablation_filter_cache(num_keys=args.keys,
+                                                ops=args.ops,
+                                                workers=args.workers)))
+        print(banner("Ablation - scan doorbell batching (YCSB-E)"))
+        print(_rows_table(ablation_scan_batching(num_keys=args.keys)))
+        print(banner("Ablation - hotness-bit second chance vs random"))
+        print(_rows_table(ablation_hotness()))
+        print(banner("Ablation - fingerprint width vs false positives"))
+        print(_rows_table(ablation_fingerprint_bits()))
+        print(banner("Ablation - round trips vs dataset size (tree depth)"))
+        print(_rows_table(ablation_depth_scaling()))
+        print(banner("Ablation - CN cache budget sensitivity (YCSB-C)"))
+        print(_rows_table(ablation_cache_budget(num_keys=args.keys,
+                                                ops=args.ops,
+                                                workers=args.workers)))
+        print(banner("Ablation - request skew robustness (YCSB-C)"))
+        print(_rows_table(ablation_distribution_skew(num_keys=args.keys,
+                                                     ops=args.ops,
+                                                     workers=args.workers)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

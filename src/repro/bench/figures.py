@@ -1,0 +1,424 @@
+"""Regeneration of every figure in the paper's evaluation (Sec. V).
+
+Each ``fig*`` function executes the corresponding experiment on the
+simulated cluster and returns structured rows; ``render_*`` turns them
+into the text tables the benchmark suite prints.  Absolute Mops/s differ
+from the paper's hardware, the *shapes* (system ordering, relative
+factors, saturation behaviour) are the reproduction target - see
+EXPERIMENTS.md for the side-by-side record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .harness import (
+    DEFAULT_KEYS,
+    DEFAULT_OPS,
+    DEFAULT_WORKERS,
+    SYSTEMS,
+    SystemSetup,
+    build_setup,
+    load_dataset,
+    scaled_cache_bytes,
+    timed_run,
+)
+from .reporting import banner, format_table, mops, ratio_summary
+
+FIG4_WORKLOADS = ("LOAD", "A", "B", "C", "D", "E")
+FIG5_WORKERS = (6, 12, 24, 48, 96, 192)
+
+
+# ---------------------------------------------------------------------------
+# Fig 4: YCSB throughput
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig4Result:
+    dataset: str
+    rows: List[dict] = field(default_factory=list)
+
+    def throughput(self, system: str, workload: str) -> float:
+        for row in self.rows:
+            if row["system"] == system and row["workload"] == workload:
+                return row["throughput_mops"]
+        raise KeyError((system, workload))
+
+    def speedups(self, workload: str) -> Dict[str, float]:
+        return ratio_summary({
+            row["system"]: row["throughput_mops"]
+            for row in self.rows if row["workload"] == workload})
+
+
+def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
+              ops: int = DEFAULT_OPS, workers: int = DEFAULT_WORKERS,
+              systems=SYSTEMS, scan_ops: Optional[int] = None) -> Fig4Result:
+    """The YCSB throughput grid (paper Fig 4, one dataset).
+
+    Per system: the dataset is bulk-loaded untimed, then LOAD is timed
+    using fresh keys from the insert pool, then A-E run on the loaded
+    state (read/update first, the insert-heavy E last).
+    """
+    result = Fig4Result(dataset_name)
+    if scan_ops is None:
+        # A YCSB-E operation is a ~25-50-key scan: one quarter of the
+        # point-op count gives a stable estimate at a sane wall time.
+        scan_ops = max(workers, ops // 4)
+    # One scan is 30-60x the NIC load of a point operation, so a handful
+    # of closed-loop scan workers already saturates the fabric for every
+    # system and erases the batching contrast the paper measures; run E
+    # at a proportionally lower worker count (the pre-saturation regime).
+    scan_workers = max(12, workers // 8)
+    for system in systems:
+        dataset = load_dataset(dataset_name, num_keys)
+        setup = build_setup(system, dataset)
+        for workload_name in FIG4_WORKLOADS:
+            run_ops = scan_ops if workload_name == "E" else ops
+            run_workers = scan_workers if workload_name == "E" else workers
+            run = timed_run(setup, workload_name, workers=run_workers,
+                            ops=run_ops)
+            result.rows.append(run.row())
+    return result
+
+
+def render_fig4(result: Fig4Result) -> str:
+    headers = ["workload"] + [f"{s} (Mops)" for s in SYSTEMS
+                              if any(r["system"] == s for r in result.rows)]
+    systems = [s for s in SYSTEMS
+               if any(r["system"] == s for r in result.rows)]
+    rows = []
+    for workload_name in FIG4_WORKLOADS:
+        row = [workload_name]
+        for system in systems:
+            row.append(mops(result.throughput(system, workload_name)))
+        rows.append(row)
+    out = [banner(f"Fig 4 - YCSB throughput, {result.dataset} dataset"),
+           format_table(headers, rows)]
+    for workload_name in FIG4_WORKLOADS:
+        out.append(f"Sphinx speedup on {workload_name}: "
+                   f"{result.speedups(workload_name)}")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Fig 5: scalability (throughput-latency under worker sweep)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig5Result:
+    dataset: str
+    rows: List[dict] = field(default_factory=list)
+
+    def series(self, system: str) -> List[dict]:
+        return [r for r in self.rows if r["system"] == system]
+
+    def peak_throughput(self, system: str) -> float:
+        return max(r["throughput_mops"] for r in self.series(system))
+
+    def latency_at_peak(self, system: str) -> float:
+        series = self.series(system)
+        best = max(series, key=lambda r: r["throughput_mops"])
+        return best["avg_latency_us"]
+
+
+def fig5_scalability(dataset_name: str, num_keys: int = DEFAULT_KEYS,
+                     ops: int = DEFAULT_OPS, systems=SYSTEMS,
+                     worker_counts=FIG5_WORKERS) -> Fig5Result:
+    """Throughput-latency curves for YCSB-A (paper Fig 5, one dataset)."""
+    result = Fig5Result(dataset_name)
+    for system in systems:
+        dataset = load_dataset(dataset_name, num_keys)
+        setup = build_setup(system, dataset)
+        for workers in worker_counts:
+            run = timed_run(setup, "A", workers=workers, ops=ops,
+                            seed=workers)
+            result.rows.append(run.row())
+    return result
+
+
+def render_fig5(result: Fig5Result) -> str:
+    headers = ["system", "workers", "Mops", "avg us", "p99 us", "msgs/op"]
+    rows = [[r["system"], r["workers"], mops(r["throughput_mops"]),
+             f"{r['avg_latency_us']:.2f}", f"{r['p99_latency_us']:.2f}",
+             f"{r['messages_per_op']:.2f}"] for r in result.rows]
+    out = [banner(f"Fig 5 - YCSB-A scalability, {result.dataset} dataset"),
+           format_table(headers, rows)]
+    systems = sorted({r["system"] for r in result.rows})
+    peaks = {s: result.peak_throughput(s) for s in systems}
+    out.append(f"peak throughput: { {k: round(v, 3) for k, v in peaks.items()} }")
+    if "Sphinx" in peaks:
+        out.append(f"Sphinx peak speedup: {ratio_summary(peaks)}")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Fig 6: MN-side space consumption
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig6Result:
+    rows: List[dict] = field(default_factory=list)
+
+    def total(self, system: str, dataset: str) -> int:
+        for row in self.rows:
+            if row["system"] == system and row["dataset"] == dataset:
+                return row["total"]
+        raise KeyError((system, dataset))
+
+
+def fig6_memory(num_keys: int = DEFAULT_KEYS,
+                datasets=("u64", "email")) -> Fig6Result:
+    """MN memory after bulk insert (paper Fig 6).
+
+    Reports per-category bytes.  The paper's claims: the inner node hash
+    table adds only 3.3% (u64) / 4.9% (email) over plain ART, while SMART
+    consumes 2.1-3.0x ART's memory.
+    """
+    result = Fig6Result()
+    for dataset_name in datasets:
+        dataset = load_dataset(dataset_name, num_keys, insert_fraction=0.0)
+        for system in ("ART", "SMART", "Sphinx"):
+            setup = build_setup(system, dataset)
+            cats = setup.cluster.mn_bytes_by_category()
+            inner = cats.get("inner", 0)
+            leaf = cats.get("leaf", 0)
+            table = cats.get("hash_table", 0)
+            result.rows.append({
+                "system": system,
+                "dataset": dataset_name,
+                "inner": inner,
+                "leaf": leaf,
+                "hash_table": table,
+                "total": inner + leaf + table,
+            })
+    return result
+
+
+def render_fig6(result: Fig6Result) -> str:
+    headers = ["dataset", "system", "inner MB", "leaf MB", "INHT MB",
+               "total MB", "vs ART"]
+    rows = []
+    datasets = sorted({r["dataset"] for r in result.rows})
+    for dataset_name in datasets:
+        art_total = result.total("ART", dataset_name)
+        for row in result.rows:
+            if row["dataset"] != dataset_name:
+                continue
+            rows.append([
+                dataset_name, row["system"],
+                f"{row['inner'] / 1e6:.2f}", f"{row['leaf'] / 1e6:.2f}",
+                f"{row['hash_table'] / 1e6:.3f}",
+                f"{row['total'] / 1e6:.2f}",
+                f"{row['total'] / art_total:.3f}x",
+            ])
+    out = [banner("Fig 6 - MN-side memory usage"),
+           format_table(headers, rows)]
+    for dataset_name in datasets:
+        art = result.total("ART", dataset_name)
+        sphinx = result.total("Sphinx", dataset_name)
+        smart = result.total("SMART", dataset_name)
+        out.append(
+            f"{dataset_name}: INHT overhead {100 * (sphinx - art) / art:.1f}%"
+            f" (paper: 3.3-4.9%), SMART {smart / art:.2f}x ART"
+            f" (paper: 2.1-3.0x)")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices called out in Sec. III)
+# ---------------------------------------------------------------------------
+
+def ablation_filter_cache(dataset_name: str = "email",
+                          num_keys: int = DEFAULT_KEYS,
+                          ops: int = DEFAULT_OPS,
+                          workers: int = DEFAULT_WORKERS) -> List[dict]:
+    """Sphinx with vs without the succinct filter cache (Sec. III-B).
+
+    Without the filter the client reads Theta(L) hash entries per
+    operation in one doorbell batch: same round trips, far more messages,
+    earlier NIC saturation.
+    """
+    rows = []
+    for system in ("Sphinx", "Sphinx-NoFilter"):
+        dataset = load_dataset(dataset_name, num_keys)
+        setup = build_setup(system, dataset)
+        run = timed_run(setup, "C", workers=workers, ops=ops)
+        rows.append(run.row())
+    return rows
+
+
+def ablation_scan_batching(dataset_name: str = "u64",
+                           num_keys: int = DEFAULT_KEYS,
+                           ops: int = 1_000,
+                           workers: int = 24) -> List[dict]:
+    """Doorbell batching in scans on vs off (Sec. V-B, range query)."""
+    rows = []
+    for batched in (True, False):
+        dataset = load_dataset(dataset_name, num_keys)
+        setup = build_setup("Sphinx", dataset)
+        for cn in range(setup.cluster.config.num_cns):
+            setup.index.client(cn).scan_batched = batched
+        run = timed_run(setup, "E", workers=workers, ops=ops)
+        row = run.row()
+        row["system"] = f"Sphinx(batch={'on' if batched else 'off'})"
+        rows.append(row)
+    return rows
+
+
+def ablation_hotness(num_keys: int = DEFAULT_KEYS) -> List[dict]:
+    """Second-chance (hotness bit) vs plain random eviction under a filter
+    too small for the prefix set (Sec. III-B's hot-prefix mechanism)."""
+    import random
+
+    from ..filters.hotness import SuccinctFilterCache
+
+    rows = []
+    rng = random.Random(0)
+    hot = [f"hot{i}".encode() for i in range(256)]
+    cold = [f"cold{i}".encode() for i in range(20_000)]
+    for second_chance in (True, False):
+        cache = SuccinctFilterCache(2_048, second_chance=second_chance)
+        for h in hot:
+            cache.insert(h)
+        hits = 0
+        probes = 0
+        for round_no in range(10):
+            for h in hot:
+                hits += cache.contains(h)
+                probes += 1
+            for c in rng.sample(cold, 500):
+                cache.insert(c)
+        rows.append({
+            "policy": "second-chance" if second_chance else "random",
+            "hot_hit_rate": round(hits / probes, 4),
+            "evictions": cache.evictions,
+        })
+    return rows
+
+
+def ablation_cache_budget(dataset_name: str = "email",
+                          num_keys: int = DEFAULT_KEYS,
+                          ops: int = DEFAULT_OPS,
+                          workers: int = DEFAULT_WORKERS) -> List[dict]:
+    """CN cache-budget sensitivity (the paper's SMART vs SMART+C axis).
+
+    Sphinx's filter is succinct (~1.6 B per inner prefix), so a tenth of
+    the paper-scaled budget already tracks nearly every prefix; SMART's
+    node cache needs orders of magnitude more bytes for the same effect
+    (Sec. V-B: Sphinx beats SMART+C with 10% of its cache).
+    """
+    from ..baselines import SmartConfig, SmartIndex
+    from ..core import SphinxConfig, SphinxIndex
+    from ..dm import Cluster, ClusterConfig
+    from ..ycsb import bulk_load
+
+    base = scaled_cache_bytes(num_keys)
+    rows = []
+    for system, factor in (("Sphinx", 0.1), ("Sphinx", 1), ("Sphinx", 10),
+                           ("SMART", 1), ("SMART", 10)):
+        budget = max(256, int(base * factor))
+        dataset = load_dataset(dataset_name, num_keys)
+        cluster = Cluster(ClusterConfig())
+        if system == "Sphinx":
+            index = SphinxIndex(cluster, SphinxConfig(
+                filter_budget_bytes=budget))
+        else:
+            index = SmartIndex(cluster, SmartConfig(
+                cache_budget_bytes=budget))
+        bulk_load(cluster, index, dataset)
+        setup = SystemSetup(f"{system} x{factor}", cluster, index, dataset)
+        run = timed_run(setup, "C", workers=workers, ops=ops)
+        row = run.row()
+        row["cache_budget_bytes"] = budget
+        rows.append(row)
+    return rows
+
+
+def ablation_distribution_skew(dataset_name: str = "email",
+                               num_keys: int = DEFAULT_KEYS,
+                               ops: int = DEFAULT_OPS,
+                               workers: int = DEFAULT_WORKERS) -> List[dict]:
+    """Zipfian vs uniform requests.
+
+    SMART's node cache thrives on skew (hot paths stay resident); the
+    succinct filter cache tracks *every* prefix regardless of popularity,
+    so Sphinx's advantage widens when the workload flattens.
+    """
+    from ..ycsb import WorkloadSpec, run_workload
+
+    rows = []
+    for system in ("SMART", "Sphinx"):
+        dataset = load_dataset(dataset_name, num_keys)
+        setup = build_setup(system, dataset)
+        for distribution in ("zipfian", "uniform"):
+            spec = WorkloadSpec(f"C-{distribution}", read=1.0,
+                                distribution=distribution)
+            run = run_workload(setup.cluster, setup.index, spec, dataset,
+                               system=system, workers=workers, ops=ops,
+                               warmup_ops_per_cn=2_000)
+            rows.append(run.row())
+    return rows
+
+
+def ablation_depth_scaling(dataset_name: str = "u64",
+                           sizes=(15_000, 30_000, 60_000, 120_000),
+                           probe_ops: int = 400) -> List[dict]:
+    """Round trips per search vs dataset size (tree depth).
+
+    The paper runs at 60 M keys where the ART is 4+ levels deep; our
+    simulated datasets are necessarily smaller and shallower, which
+    *underestimates* traversal-based systems' costs.  This ablation
+    measures the trend: Sphinx stays at ~3 round trips regardless of
+    size while ART/SMART grow with depth - the extrapolation that links
+    our small-scale numbers to the paper's.
+    """
+    import random
+
+    from ..dm.rdma import OpStats
+
+    rows = []
+    for size in sizes:
+        dataset = load_dataset(dataset_name, size, insert_fraction=0.0)
+        for system in ("ART", "SMART", "Sphinx"):
+            setup = build_setup(system, dataset)
+            # Warm caches, then count verbs over zipfian reads.
+            rng = random.Random(5)
+            client = setup.index.client(0)
+            executor = setup.cluster.direct_executor()
+            for _ in range(min(4_000, size)):
+                executor.run(client.search(
+                    dataset.keys[rng.randrange(size)]))
+            stats = OpStats()
+            counted = setup.cluster.direct_executor(stats)
+            for _ in range(probe_ops):
+                counted.run(client.search(
+                    dataset.keys[rng.randrange(size)]))
+            rows.append({
+                "dataset": dataset_name,
+                "keys": size,
+                "system": system,
+                "rts_per_search": round(stats.round_trips / probe_ops, 3),
+                "bytes_per_search": round(stats.bytes_read / probe_ops, 1),
+            })
+    return rows
+
+
+def ablation_fingerprint_bits() -> List[dict]:
+    """False-positive rate vs fingerprint width (paper: >=10 bits -> <1%)."""
+    from ..filters.cuckoo import CuckooFilter
+
+    rows = []
+    for bits in (4, 6, 8, 10, 12, 16):
+        filt = CuckooFilter(20_000, fp_bits=bits)
+        for i in range(18_000):
+            filt.insert(f"m{i}".encode())
+        false_positives = sum(filt.contains(f"x{i}".encode())
+                              for i in range(50_000))
+        rows.append({
+            "fp_bits": bits,
+            "fp_rate": round(false_positives / 50_000, 5),
+            "bound": round(filt.expected_fp_rate(), 5),
+            "bytes_per_item": round(filt.size_bytes() / filt.count, 3),
+        })
+    return rows

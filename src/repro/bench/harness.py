@@ -1,0 +1,105 @@
+"""Experiment harness: build clusters/systems and execute the paper's runs.
+
+Scaling rule (see DESIGN.md): the paper loads 60 M keys and gives SMART/
+Sphinx a 20 MB CN cache (SMART+C: 200 MB).  We scale the dataset down and
+scale every CN-side budget by the same factor, preserving the
+cache-coverage ratios that drive the results:
+
+    budget = 20 MB * (keys / 60 M)          (Sphinx filter, SMART cache)
+    budget_C = 10x budget                   (SMART+C)
+
+``REPRO_BENCH_KEYS`` / ``REPRO_BENCH_OPS`` environment variables override
+the default dataset / per-run operation counts for quicker smoke runs or
+bigger, higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines import ArtDmIndex, SmartConfig, SmartIndex
+from ..core import SphinxConfig, SphinxIndex
+from ..dm import Cluster, ClusterConfig
+from ..errors import ConfigError
+from ..ycsb import Dataset, RunResult, bulk_load, make_dataset, run_workload, workload
+
+PAPER_KEYS = 60_000_000
+PAPER_CACHE_BYTES = 20 << 20
+SMART_C_FACTOR = 10
+
+DEFAULT_KEYS = int(os.environ.get("REPRO_BENCH_KEYS", 60_000))
+DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", 4_800))
+DEFAULT_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", 192))
+
+SYSTEMS = ("ART", "SMART", "SMART+C", "Sphinx")
+
+
+def scaled_cache_bytes(num_keys: int, factor: int = 1) -> int:
+    """The paper's 20 MB budget scaled to our dataset size."""
+    return max(4_096, int(PAPER_CACHE_BYTES * num_keys / PAPER_KEYS) * factor)
+
+
+@dataclass
+class SystemSetup:
+    """A loaded system ready for timed runs."""
+
+    name: str
+    cluster: Cluster
+    index: object
+    dataset: Dataset
+
+    def cn_cache_bytes(self) -> int:
+        return sum(self.index.client(cn).cn_cache_bytes()
+                   if hasattr(self.index.client(cn), "cn_cache_bytes") else 0
+                   for cn in range(self.cluster.config.num_cns))
+
+
+def make_index(name: str, cluster: Cluster, num_keys: int,
+               use_filter: bool = True):
+    """Instantiate one of the paper's four systems with scaled budgets."""
+    budget = scaled_cache_bytes(num_keys)
+    if name == "ART":
+        return ArtDmIndex(cluster)
+    if name == "SMART":
+        return SmartIndex(cluster, SmartConfig(cache_budget_bytes=budget))
+    if name == "SMART+C":
+        return SmartIndex(cluster, SmartConfig(
+            cache_budget_bytes=budget * SMART_C_FACTOR))
+    if name == "Sphinx":
+        return SphinxIndex(cluster, SphinxConfig(
+            filter_budget_bytes=budget, use_filter=use_filter))
+    if name == "Sphinx-NoFilter":
+        return SphinxIndex(cluster, SphinxConfig(
+            filter_budget_bytes=budget, use_filter=False))
+    raise ConfigError(f"unknown system {name!r}")
+
+
+def build_setup(system: str, dataset: Dataset,
+                mn_capacity: int = 1 << 30) -> SystemSetup:
+    """Create a cluster, instantiate the system and bulk-load the keys."""
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=mn_capacity))
+    index = make_index(system, cluster, dataset.size)
+    bulk_load(cluster, index, dataset)
+    return SystemSetup(system, cluster, index, dataset)
+
+
+def timed_run(setup: SystemSetup, workload_name: str, *,
+              workers: int = DEFAULT_WORKERS, ops: int = DEFAULT_OPS,
+              warmup_ops_per_cn: Optional[int] = None,
+              seed: int = 0) -> RunResult:
+    """One timed YCSB run against a loaded system."""
+    spec = workload(workload_name)
+    if warmup_ops_per_cn is None:
+        warmup_ops_per_cn = min(2_000, setup.dataset.size // 4)
+    return run_workload(setup.cluster, setup.index, spec, setup.dataset,
+                        system=setup.name, workers=workers, ops=ops,
+                        warmup_ops_per_cn=warmup_ops_per_cn, seed=seed)
+
+
+def load_dataset(name: str, num_keys: int = DEFAULT_KEYS,
+                 insert_fraction: float = 0.3, seed: int = 1) -> Dataset:
+    """Dataset plus an insert pool big enough for LOAD/E runs."""
+    return make_dataset(name, num_keys, seed=seed,
+                        insert_pool=int(num_keys * insert_fraction))

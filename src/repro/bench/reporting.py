@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment results (the paper's tables/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Align a list of rows under headers (monospace report style)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def speedup(base: float, other: float) -> float:
+    """How many times faster ``other`` is than ``base``."""
+    if base <= 0:
+        return float("inf")
+    return other / base
+
+
+def mops(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def ratio_summary(throughputs: Dict[str, float],
+                  winner: str = "Sphinx") -> Dict[str, float]:
+    """Winner-vs-each-competitor speedups (the paper's "up to N x")."""
+    top = throughputs.get(winner, 0.0)
+    return {name: round(speedup(value, top), 2)
+            for name, value in throughputs.items() if name != winner}
+
+
+def banner(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}"

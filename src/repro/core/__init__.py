@@ -1,0 +1,31 @@
+"""Sphinx core: the hybrid index (paper's primary contribution)."""
+
+from .inht import InhtClient, InnerNodeHashTable
+from .leaf import in_place_update, invalidate_leaf, read_leaf, write_new_leaf
+from .lock import invalidate_op, try_lock_node, unlock_op
+from .remote_art import (
+    INNER_CATEGORY,
+    OpContext,
+    RemoteArtTree,
+    TreeMetrics,
+)
+from .sphinx import SphinxClient, SphinxConfig, SphinxIndex
+
+__all__ = [
+    "InhtClient",
+    "InnerNodeHashTable",
+    "in_place_update",
+    "invalidate_leaf",
+    "read_leaf",
+    "write_new_leaf",
+    "invalidate_op",
+    "try_lock_node",
+    "unlock_op",
+    "INNER_CATEGORY",
+    "OpContext",
+    "RemoteArtTree",
+    "TreeMetrics",
+    "SphinxClient",
+    "SphinxConfig",
+    "SphinxIndex",
+]

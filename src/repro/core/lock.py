@@ -1,0 +1,50 @@
+"""Node-grained locks (paper Sec. III-C).
+
+An ART node's header word doubles as its lock: the 2-bit status field is
+CASed Idle -> Locked by structural writers.  Reads stay lock-free; readers
+only *check* status and retry on Locked/Invalid nodes.  Because the rest
+of the header (type, depth, prefix hash, creation-time count) never
+changes over a node's lifetime, the CAS expected value is always known
+from the last node read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..art.layout import STATUS_IDLE, STATUS_INVALID, STATUS_LOCKED, Header
+from ..dm.rdma import CasOp, WriteOp
+from ..util.bits import u64_to_bytes
+
+
+def locked_header(header: Header) -> Header:
+    return replace(header, status=STATUS_LOCKED)
+
+
+def idle_header(header: Header) -> Header:
+    return replace(header, status=STATUS_IDLE)
+
+
+def invalid_header(header: Header) -> Header:
+    return replace(header, status=STATUS_INVALID)
+
+
+def try_lock_node(addr: int, header: Header):
+    """CAS the node's header Idle -> Locked.  Returns True if acquired.
+
+    ``header`` must be the header as last read (status Idle); a failed CAS
+    means another writer got there first or the node went Invalid.
+    """
+    idle = idle_header(header)
+    swapped, _old = yield CasOp(addr, idle.pack(), locked_header(header).pack())
+    return swapped
+
+
+def unlock_op(addr: int, header: Header) -> WriteOp:
+    """The verb releasing a lock we hold (plain write; we own the node)."""
+    return WriteOp(addr, u64_to_bytes(idle_header(header).pack()))
+
+
+def invalidate_op(addr: int, header: Header) -> WriteOp:
+    """The verb retiring a node after a type switch (write Invalid)."""
+    return WriteOp(addr, u64_to_bytes(invalid_header(header).pack()))

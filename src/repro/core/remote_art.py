@@ -1,0 +1,1190 @@
+"""The remote ART engine: index operations over the Fig-3 byte layouts.
+
+This module implements everything the three evaluated systems share - the
+descent loop, leaf installation, leaf/edge splits, node type switches,
+deletion and range scans - as op generators against simulated MN memory.
+The systems differ only in *how a client reaches a starting node* and in
+*what bookkeeping follows structural changes*, so those points are
+template-method hooks:
+
+==================  ========================  ==========================
+hook                Sphinx                     SMART / ART-on-DM
+==================  ========================  ==========================
+``locate_start``    filter cache + INHT       cached-node walk / root
+``note_visited``    (nothing)                 fill the CN node cache
+``on_path``         filter freshness insert   (nothing)
+``after_new_inner`` INHT insert + filter      (nothing)
+``after_switch``    INHT entry CAS            n/a (SMART never switches)
+``node_type_for``   smallest fitting type     SMART: always Node-256
+==================  ========================  ==========================
+
+Concurrency follows the paper's Sec. III-C: lock-free reads validated by
+header metadata (status / depth / 42-bit prefix hash) and leaf checksums;
+node-grained header locks for structural writes; doorbell batching to
+piggyback lock acquisition onto data writes; old nodes marked *Invalid*
+after a type switch so readers holding stale pointers retry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..art.keys import common_prefix_len
+from ..art.layout import (
+    HEADER_SIZE,
+    NODE256,
+    NODE_CAPACITY,
+    SLOT_SIZE,
+    STATUS_IDLE,
+    STATUS_INVALID,
+    Header,
+    NodeView,
+    Slot,
+    decode_leaf,
+    decode_node,
+    encode_leaf,
+    encode_node,
+    leaf_units_for,
+    next_node_type,
+    node_size,
+    smallest_type_for,
+)
+from ..dm.cluster import Cluster
+from ..dm.memory import addr_mn
+from ..dm.rdma import Batch, CasOp, LocalCompute, ReadOp, WriteOp
+from ..errors import ReproError, RetryLimitExceeded
+from ..util.bits import u64_to_bytes
+from ..util.hashing import prefix_hash42
+from . import leaf as leaf_ops
+from .lock import idle_header, invalidate_op, locked_header, try_lock_node, unlock_op
+
+RETRY = object()
+"""Internal sentinel: the attempt raced a concurrent writer; re-run it."""
+
+EMPTY_SUBTREE = object()
+"""Sentinel from prefix recovery: the subtree holds no live leaves.
+
+Deletes clear slots without collapsing inner nodes (paper Sec. IV), so a
+node can end up childless; an insert whose key diverges at such a node
+cannot learn its compressed prefix from a leaf and instead replaces the
+empty node outright (see ``_replace_empty_child``)."""
+
+INNER_CATEGORY = "inner"
+LEAF_ALIGN = 64
+
+
+@dataclass
+class TreeMetrics:
+    """Per-client operation/bookkeeping counters."""
+
+    searches: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    scans: int = 0
+    op_restarts: int = 0
+    fp_restarts: int = 0
+    lock_failures: int = 0
+    leaf_splits: int = 0
+    edge_splits: int = 0
+    type_switches: int = 0
+    empty_replacements: int = 0
+    stale_filter_fills: int = 0
+
+    def as_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class _ScanState:
+    """Mutable state of one range scan (results + deferred leaf reads)."""
+
+    start_key: bytes
+    count: Optional[int]
+    hi: Optional[bytes]
+    results: List[Tuple[bytes, bytes]] = None  # type: ignore[assignment]
+    pending: List[Slot] = None  # type: ignore[assignment]
+    done: bool = False
+    flush_chunk: int = 64  # buffer bound for unbounded (hi-only) scans
+
+    def __post_init__(self):
+        self.results = []
+        self.pending = []
+
+    def satisfied(self) -> bool:
+        return self.count is not None and len(self.results) >= self.count
+
+    def maybe_satisfied(self) -> bool:
+        """True when the buffered leaves could already cover the budget."""
+        return self.count is not None and \
+            len(self.results) + len(self.pending) >= self.count
+
+    def buffer_full(self) -> bool:
+        if self.count is not None:
+            return len(self.results) + len(self.pending) >= self.count
+        return len(self.pending) >= self.flush_chunk
+
+
+@dataclass
+class OpContext:
+    """State threaded through one logical operation's retries."""
+
+    key: bytes
+    limit: int  # longest prefix length locate_start may use
+    attempt: int = 0  # retry number; caches revalidate when attempt > 0
+
+    def shrink(self, new_limit: int) -> None:
+        self.limit = min(self.limit, max(new_limit, 0))
+
+
+class RemoteArtTree:
+    """Base class: a client of a remote ART living in MN memory."""
+
+    _instances = 0
+
+    def __init__(self, cluster: Cluster, root_addr: int,
+                 max_retries: int = 64, backoff_ns: int = 2_000):
+        self.cluster = cluster
+        self.root_addr = root_addr
+        self.max_retries = max_retries
+        self.backoff_ns = backoff_ns
+        self.metrics = TreeMetrics()
+        self.scan_batched = True
+        RemoteArtTree._instances += 1
+        import random as _random
+        self._backoff_rng = _random.Random(0xBACC0FF ^
+                                           RemoteArtTree._instances)
+
+    def _backoff_delay(self, attempt: int) -> int:
+        """Exponential backoff with jitter (hot zipfian keys put many
+        writers on one leaf lock; jitter breaks the retry convoy)."""
+        ceiling = self.backoff_ns << min(attempt, 6)
+        return ceiling // 2 + self._backoff_rng.randrange(ceiling // 2 + 1)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def create_root(cluster: Cluster) -> int:
+        """Allocate and initialize the (always Node-256) root."""
+        from ..dm.memory import addr_offset
+        addr = cluster.alloc_for_prefix(b"", node_size(NODE256),
+                                        INNER_CATEGORY)
+        header = Header(STATUS_IDLE, NODE256, 0, prefix_hash42(b""), 0)
+        image = encode_node(header, [None] * NODE_CAPACITY[NODE256])
+        cluster.memories[addr_mn(addr)].write(addr_offset(addr), image)
+        return addr
+
+    # ------------------------------------------------------------------
+    # Policy hooks (overridden by Sphinx / SMART)
+    # ------------------------------------------------------------------
+    def node_type_for(self, child_count: int) -> int:
+        return smallest_type_for(child_count)
+
+    def grown_type(self, node_type: int) -> int:
+        return next_node_type(node_type)
+
+    def locate_start(self, ctx: OpContext):
+        """Default: read the root (one round trip).
+
+        Returns ``(addr, view, trusted)``.  ``trusted`` is False when the
+        view may be stale (SMART's CN node cache); the descent loops then
+        refresh the node before concluding a key *absent* or acting on
+        it structurally - positive results and CAS-guarded mutations are
+        safe on untrusted views.
+        """
+        view = yield from self._read_node(self.root_addr, NODE256)
+        if view is None:
+            return RETRY
+        return self.root_addr, view, True
+
+    def note_visited(self, addr: int, view: NodeView) -> None:
+        """Called after every remote inner-node read (SMART cache fill)."""
+
+    def invalidate_hint(self, addr: int) -> None:
+        """Called when a node is discovered Invalid (SMART cache drop)."""
+
+    def on_path(self, prefix: bytes) -> None:
+        """Called for every on-path inner prefix (Sphinx filter refresh)."""
+
+    def after_new_inner(self, prefix: bytes, addr: int, node_type: int):
+        """Bookkeeping after a split created an inner node (op generator)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def make_split_coupling(self, prefix: bytes, addr: int, node_type: int):
+        """Optional doorbell piggyback for split bookkeeping.
+
+        Sphinx returns an object with ``pre_ops() -> [Verb]`` (extra verbs
+        riding the split's node-write batch), ``parse(results)`` and
+        ``commit()`` (op generator run once the split is visible); the
+        default None makes splits fall back to :meth:`after_new_inner`.
+        """
+        return None
+
+    def after_type_switch(self, prefix: bytes, old_addr: int, old_type: int,
+                          new_addr: int, new_type: int):
+        """Bookkeeping after a node type switch (op generator)."""
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Small shared helpers
+    # ------------------------------------------------------------------
+    def _read_node(self, addr: int, node_type: int):
+        """Read + decode a node; None means the read was inconsistent
+        (freed/retyped memory) and the operation should retry."""
+        data = yield ReadOp(addr, node_size(node_type))
+        try:
+            view = decode_node(data)
+        except ReproError:
+            return None
+        if view.header.node_type != node_type:
+            return None
+        self.note_visited(addr, view)
+        return view
+
+    @staticmethod
+    def _slot_addr(node_addr: int, index: int) -> int:
+        return node_addr + HEADER_SIZE + index * SLOT_SIZE
+
+    def _alloc_leaf(self, key: bytes, value: bytes) -> Tuple[int, int]:
+        units = leaf_units_for(len(key), len(value))
+        addr = self.cluster.alloc_for_leaf(key, units * LEAF_ALIGN)
+        return addr, units
+
+    def _free_leaf(self, addr: int, units: int) -> None:
+        self.cluster.free(addr, units * LEAF_ALIGN, leaf_ops.LEAF_CATEGORY)
+
+    def _alloc_inner(self, prefix: bytes, node_type: int) -> int:
+        return self.cluster.alloc_for_prefix(prefix, node_size(node_type),
+                                             INNER_CATEGORY)
+
+    def _free_inner(self, addr: int, node_type: int) -> None:
+        """Release a never-published node (safe to recycle immediately)."""
+        self.cluster.free(addr, node_size(node_type), INNER_CATEGORY)
+
+    def _retire_inner(self, addr: int, node_type: int) -> None:
+        """Release a node that remote readers may still reach through
+        stale pointers (type-switch victims): accounting-only free."""
+        self.cluster.retire(addr, node_size(node_type), INNER_CATEGORY)
+
+    def _build_node_image(self, header: Header,
+                          children: List[Slot]) -> bytes:
+        """Serialize a node from a child list, honouring direct indexing
+        for Node-256 and append order for the smaller types."""
+        capacity = NODE_CAPACITY[header.node_type]
+        slots: List[Optional[Slot]] = [None] * capacity
+        if header.node_type == NODE256:
+            for child in children:
+                slots[child.partial] = child
+        else:
+            if len(children) > capacity:
+                raise ReproError("too many children for node type")
+            for i, child in enumerate(children):
+                slots[i] = child
+        return encode_node(header, slots)
+
+    # ------------------------------------------------------------------
+    # Retry harness
+    # ------------------------------------------------------------------
+    def _run(self, once, ctx: OpContext, op_name: str):
+        for attempt in range(self.max_retries):
+            ctx.attempt = attempt
+            result = yield from once(ctx)
+            if result is not RETRY:
+                return result
+            self.metrics.op_restarts += 1
+            yield LocalCompute(self._backoff_delay(attempt))
+        raise RetryLimitExceeded(
+            f"{op_name}({ctx.key!r}) exceeded {self.max_retries} retries")
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, key: bytes):
+        """Op generator: value for ``key`` or None."""
+        self.metrics.searches += 1
+        result = yield from self._run(self._search_once,
+                                      OpContext(key, len(key) - 1), "search")
+        return result
+
+    def _refresh_node(self, addr: int, view: NodeView):
+        """Re-read an untrusted (cached) node before a negative verdict."""
+        fresh = yield from self._read_node(addr, view.header.node_type)
+        return fresh
+
+    def _search_once(self, ctx: OpContext):
+        key = ctx.key
+        located = yield from self.locate_start(ctx)
+        if located is RETRY:
+            return RETRY
+        cur_addr, cur, trusted = located
+        while True:
+            header = cur.header
+            if header.status == STATUS_INVALID:
+                self.invalidate_hint(cur_addr)
+                return RETRY
+            depth = header.depth
+            if depth >= len(key):
+                # Can only happen off-path (filter false positive).
+                self.metrics.fp_restarts += 1
+                ctx.shrink(depth - 1)
+                return RETRY
+            slot = cur.find_child(key[depth])
+            if slot is None:
+                if not trusted:
+                    cur = yield from self._refresh_node(cur_addr, cur)
+                    if cur is None:
+                        return RETRY
+                    trusted = True
+                    continue
+                return None
+            if slot.is_leaf:
+                leaf = yield from leaf_ops.read_leaf(slot.addr,
+                                                     slot.size_class)
+                if leaf.status == STATUS_INVALID:
+                    return RETRY  # mid-delete; retry until slot clears
+                if leaf.key == key:
+                    return leaf.value
+                if not trusted:
+                    cur = yield from self._refresh_node(cur_addr, cur)
+                    if cur is None:
+                        return RETRY
+                    trusted = True
+                    continue
+                if common_prefix_len(key, leaf.key) < depth:
+                    # We started from an unmatched node (double hash
+                    # collision, paper Sec. III-B): retry shorter.
+                    self.metrics.fp_restarts += 1
+                    ctx.shrink(depth - 1)
+                    return RETRY
+                return None
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None:
+                return RETRY
+            cheader = child.header
+            if cheader.status == STATUS_INVALID:
+                self.invalidate_hint(slot.addr)
+                return RETRY
+            if cheader.depth <= depth:
+                return RETRY  # structurally impossible -> stale read
+            if (cheader.depth < len(key)
+                    and cheader.prefix_hash
+                    == prefix_hash42(key[:cheader.depth])):
+                self.on_path(key[:cheader.depth])
+                cur_addr, cur = slot.addr, child
+                trusted = True
+                continue
+            if not trusted:
+                cur = yield from self._refresh_node(cur_addr, cur)
+                if cur is None:
+                    return RETRY
+                trusted = True
+                continue
+            return None  # subtree prefix diverges from the key
+
+    # ------------------------------------------------------------------
+    # Insert (upsert)
+    # ------------------------------------------------------------------
+    def insert(self, key: bytes, value: bytes):
+        """Op generator: True if the key was new, False if overwritten."""
+        self.metrics.inserts += 1
+        result = yield from self._run(
+            lambda ctx: self._insert_once(ctx, value),
+            OpContext(key, len(key) - 1), "insert")
+        return result
+
+    def _insert_once(self, ctx: OpContext, value: bytes):
+        # Inserts need no trust refreshes: every mutation below is CAS-
+        # guarded (count-bumping lock CAS, slot CAS), so a stale cached
+        # view can only cause a failed CAS and a retry, never corruption.
+        key = ctx.key
+        located = yield from self.locate_start(ctx)
+        if located is RETRY:
+            return RETRY
+        cur_addr, cur, _trusted = located
+        parent: Optional[Tuple[int, NodeView]] = None
+        while True:
+            header = cur.header
+            if header.status == STATUS_INVALID:
+                self.invalidate_hint(cur_addr)
+                return RETRY
+            depth = header.depth
+            if depth >= len(key):
+                self.metrics.fp_restarts += 1
+                ctx.shrink(depth - 1)
+                return RETRY
+            slot = cur.find_child(key[depth])
+            if slot is None:
+                outcome = yield from self._install_new_leaf(
+                    cur_addr, cur, parent, key, value)
+                return True if outcome is not RETRY else RETRY
+            if slot.is_leaf:
+                leaf = yield from leaf_ops.read_leaf(slot.addr,
+                                                     slot.size_class)
+                if leaf.status != STATUS_IDLE:
+                    return RETRY
+                if leaf.key == key:
+                    outcome = yield from self._update_leaf(
+                        cur_addr, cur, slot, leaf, value)
+                    return False if outcome is not RETRY else RETRY
+                split_depth = common_prefix_len(key, leaf.key)
+                if split_depth < depth:
+                    self.metrics.fp_restarts += 1
+                    ctx.shrink(depth - 1)
+                    return RETRY
+                outcome = yield from self._split_at_slot(
+                    cur_addr, cur, slot, key, value,
+                    existing_key=leaf.key, split_depth=split_depth)
+                if outcome is not RETRY:
+                    self.metrics.leaf_splits += 1
+                    return True
+                return RETRY
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None:
+                return RETRY
+            cheader = child.header
+            if cheader.status == STATUS_INVALID:
+                self.invalidate_hint(slot.addr)
+                return RETRY
+            if cheader.depth <= depth:
+                return RETRY
+            if (cheader.depth < len(key)
+                    and cheader.prefix_hash
+                    == prefix_hash42(key[:cheader.depth])):
+                self.on_path(key[:cheader.depth])
+                parent = (cur_addr, cur)
+                cur_addr, cur = slot.addr, child
+                continue
+            # The child's compressed prefix diverges: split the edge.
+            witness = yield from self._recover_leaf_key(child)
+            if witness is None:
+                return RETRY
+            if witness is EMPTY_SUBTREE:
+                outcome = yield from self._replace_empty_child(
+                    cur_addr, cur, slot, child, key, value)
+                return True if outcome is not RETRY else RETRY
+            child_prefix = witness[:cheader.depth]
+            split_depth = common_prefix_len(key, child_prefix)
+            if not depth < split_depth < cheader.depth:
+                return RETRY  # raced a structural change
+            outcome = yield from self._split_at_slot(
+                cur_addr, cur, slot, key, value,
+                existing_key=child_prefix, split_depth=split_depth)
+            if outcome is not RETRY:
+                self.metrics.edge_splits += 1
+                return True
+            return RETRY
+
+    def _install_new_leaf(self, node_addr: int, view: NodeView,
+                          parent: Optional[Tuple[int, NodeView]],
+                          key: bytes, value: bytes):
+        """Add a leaf child to ``view`` (which has no child for the byte)."""
+        if view.header.status != STATUS_IDLE:
+            # A locked view is mid-install: its count is already bumped
+            # but the new slot may not be visible yet, so the count-CAS
+            # below would not protect against a duplicate partial byte.
+            return RETRY
+        depth = view.header.depth
+        leaf_addr, units = self._alloc_leaf(key, value)
+        leaf_image = encode_leaf(key, value)
+        slot_word = Slot(addr=leaf_addr, partial=key[depth],
+                         size_class=units, is_leaf=True, occupied=True).pack()
+        if view.header.node_type == NODE256:
+            # Lock-free install: leaf write + slot CAS in one doorbell.
+            _w, cas = yield Batch([
+                WriteOp(leaf_addr, leaf_image),
+                CasOp(self._slot_addr(node_addr, key[depth]), 0, slot_word),
+            ])
+            if cas[0]:
+                return True
+            self._free_leaf(leaf_addr, units)
+            return RETRY
+        # Small node.  The header's count field is an append cursor: the
+        # lock CAS expects (Idle, count=k) and installs (Locked, k+1), so
+        # it doubles as a version check - it fails if *any* concurrent
+        # install touched the node since our view, which is exactly when
+        # our "no child for this byte" conclusion might be stale.  On
+        # success the new slot is appended at index k; the paper's
+        # doorbell batching piggybacks the leaf write on the lock CAS and
+        # the unlock on the slot write (2 round trips total, no re-read).
+        header = view.header
+        count = header.count
+        if count >= NODE_CAPACITY[header.node_type]:
+            outcome = yield from self._install_into_full(
+                node_addr, view, parent, key, slot_word,
+                leaf_addr, leaf_image)
+            if outcome is RETRY:
+                self._free_leaf(leaf_addr, units)
+                return RETRY
+            return True
+        idle = Header(STATUS_IDLE, header.node_type, header.depth,
+                      header.prefix_hash, count)
+        locked = Header(1, header.node_type, header.depth,
+                        header.prefix_hash, count + 1)
+        unlocked = Header(STATUS_IDLE, header.node_type, header.depth,
+                          header.prefix_hash, count + 1)
+        cas, _w = yield Batch([
+            CasOp(node_addr, idle.pack(), locked.pack()),
+            WriteOp(leaf_addr, leaf_image),
+        ])
+        if not cas[0]:
+            self.metrics.lock_failures += 1
+            self._free_leaf(leaf_addr, units)
+            return RETRY
+        yield Batch([
+            WriteOp(self._slot_addr(node_addr, count),
+                    u64_to_bytes(slot_word)),
+            WriteOp(node_addr, u64_to_bytes(unlocked.pack())),
+        ])
+        return True
+
+    def _install_into_full(self, node_addr: int, view: NodeView,
+                           parent: Optional[Tuple[int, NodeView]],
+                           key: bytes, slot_word: int,
+                           leaf_addr: int, leaf_image: bytes):
+        """Install into a node whose append cursor hit capacity: reuse a
+        hole left by a delete if one exists, otherwise type-switch."""
+        cas, _w = yield Batch([
+            CasOp(node_addr, idle_header(view.header).pack(),
+                  locked_header(view.header).pack()),
+            WriteOp(leaf_addr, leaf_image),
+        ])
+        if not cas[0]:
+            self.metrics.lock_failures += 1
+            return RETRY
+        fresh = yield from self._read_node(node_addr, view.header.node_type)
+        if fresh is None or fresh.find_child(key[view.header.depth]) \
+                is not None:
+            yield unlock_op(node_addr, view.header)
+            return RETRY
+        free_index = fresh.first_free_index()
+        if free_index is not None:
+            yield Batch([
+                WriteOp(self._slot_addr(node_addr, free_index),
+                        u64_to_bytes(slot_word)),
+                unlock_op(node_addr, fresh.header),
+            ])
+            return True
+        outcome = yield from self._type_switch(
+            node_addr, fresh, parent, key, extra_child=Slot.unpack(slot_word))
+        return outcome
+
+    def _replace_empty_child(self, node_addr: int, view: NodeView,
+                             slot: Slot, child: NodeView, key: bytes,
+                             value: bytes):
+        """Swap a verifiably empty inner child for a fresh leaf.
+
+        The child is locked first so no concurrent insert can land in it,
+        re-checked for emptiness, unlinked via the parent slot, and only
+        then marked Invalid and retired.  Its hash-table entry cannot be
+        removed (the prefix of an empty node is unrecoverable); lookups
+        tolerate entries pointing at Invalid nodes, so the entry is a
+        bounded space leak, not a correctness issue.
+        """
+        locked = yield from try_lock_node(slot.addr, child.header)
+        if not locked:
+            self.metrics.lock_failures += 1
+            return RETRY
+        fresh = yield from self._read_node(slot.addr, slot.size_class)
+        if fresh is None:
+            yield unlock_op(slot.addr, child.header)
+            return RETRY
+        if fresh.occupied_count() > 0:
+            yield unlock_op(slot.addr, fresh.header)
+            return RETRY
+        leaf_addr, units = self._alloc_leaf(key, value)
+        depth = view.header.depth
+        new_word = Slot(addr=leaf_addr, partial=key[depth],
+                        size_class=units, is_leaf=True, occupied=True).pack()
+        yield WriteOp(leaf_addr, encode_leaf(key, value))
+        ok = yield from self._replace_slot(node_addr, view, slot, new_word)
+        if not ok:
+            yield unlock_op(slot.addr, fresh.header)
+            self._free_leaf(leaf_addr, units)
+            return RETRY
+        yield invalidate_op(slot.addr, fresh.header)
+        self.invalidate_hint(slot.addr)
+        self._retire_inner(slot.addr, slot.size_class)
+        self.metrics.empty_replacements += 1
+        return True
+
+    def _update_leaf(self, node_addr: int, view: NodeView, slot: Slot,
+                     leaf, value: bytes):
+        """Overwrite an existing leaf's value, in place when it fits.
+
+        Hot keys see heavy lock contention on one leaf; losing the lock
+        CAS retries *here* (re-read + CAS, 2 round trips) with jittered
+        backoff instead of restarting the whole operation (~5 round
+        trips), which is both cheaper and far less convoy-prone.
+        """
+        if leaf_units_for(len(leaf.key), len(value)) <= leaf.units:
+            for attempt in range(8):
+                ok = yield from leaf_ops.in_place_update(slot.addr, leaf,
+                                                         value)
+                if ok:
+                    return True
+                yield LocalCompute(self._backoff_delay(attempt))
+                leaf = yield from leaf_ops.read_leaf(slot.addr,
+                                                     slot.size_class)
+                if (leaf.status != STATUS_IDLE
+                        or not leaf.checksum_ok
+                        or leaf_units_for(len(leaf.key), len(value))
+                        > leaf.units):
+                    return RETRY
+            return RETRY
+        # Out-of-place: take ownership of the old leaf first, then
+        # repoint the parent slot and retire the old leaf.
+        from ..art.layout import STATUS_LOCKED, leaf_status_word
+        idle = leaf_status_word(STATUS_IDLE, leaf.units, len(leaf.key),
+                                len(leaf.value))
+        locked = leaf_status_word(STATUS_LOCKED, leaf.units, len(leaf.key),
+                                  len(leaf.value))
+        swapped, _ = yield CasOp(slot.addr, idle, locked)
+        if not swapped:
+            return RETRY
+        new_addr, units = self._alloc_leaf(leaf.key, value)
+        new_word = Slot(addr=new_addr, partial=slot.partial,
+                        size_class=units, is_leaf=True, occupied=True).pack()
+        yield WriteOp(new_addr, encode_leaf(leaf.key, value))
+        ok = yield from self._replace_slot(node_addr, view, slot, new_word)
+        if not ok:
+            # Roll back: release the old leaf and drop the new one.
+            yield CasOp(slot.addr, locked, idle)
+            self._free_leaf(new_addr, units)
+            return RETRY
+        invalid = leaf_status_word(STATUS_INVALID, leaf.units, len(leaf.key),
+                                   len(leaf.value))
+        yield WriteOp(slot.addr, invalid.to_bytes(8, "little"))
+        self._free_leaf(slot.addr, leaf.units)
+        return True
+
+    def _split_at_slot(self, node_addr: int, view: NodeView, slot: Slot,
+                       key: bytes, value: bytes, existing_key: bytes,
+                       split_depth: int):
+        """Replace ``slot`` with a new inner node holding the existing
+        child and a new leaf for ``key`` (leaf split or edge split)."""
+        prefix = key[:split_depth]
+        leaf_addr, units = self._alloc_leaf(key, value)
+        node_type = self.node_type_for(2)
+        inner_addr = self._alloc_inner(prefix, node_type)
+        existing_child = Slot(addr=slot.addr,
+                              partial=existing_key[split_depth],
+                              size_class=slot.size_class,
+                              is_leaf=slot.is_leaf, occupied=True)
+        new_leaf_child = Slot(addr=leaf_addr, partial=key[split_depth],
+                              size_class=units, is_leaf=True, occupied=True)
+        header = Header(STATUS_IDLE, node_type, split_depth,
+                        prefix_hash42(prefix), 2)
+        image = self._build_node_image(header,
+                                       [existing_child, new_leaf_child])
+        coupling = self.make_split_coupling(prefix, inner_addr, node_type)
+        extra_ops = coupling.pre_ops() if coupling is not None else []
+        results = yield Batch([
+            WriteOp(leaf_addr, encode_leaf(key, value)),
+            WriteOp(inner_addr, image),
+        ] + list(extra_ops))
+        if coupling is not None and extra_ops:
+            coupling.parse(results[2:])
+        inner_slot = Slot(addr=inner_addr, partial=slot.partial,
+                          size_class=node_type, is_leaf=False,
+                          occupied=True).pack()
+        ok = yield from self._replace_slot(node_addr, view, slot, inner_slot)
+        if not ok:
+            self._free_leaf(leaf_addr, units)
+            self._free_inner(inner_addr, node_type)
+            return RETRY
+        if coupling is not None:
+            yield from coupling.commit()
+        else:
+            yield from self.after_new_inner(prefix, inner_addr, node_type)
+        return True
+
+    def _replace_slot(self, node_addr: int, view: NodeView, old_slot: Slot,
+                      new_word: int):
+        """Atomically swap one child slot of ``node_addr``.
+
+        Node-256 slots are CASed lock-free (a Node-256 never type-switches,
+        so the slot address is stable); smaller nodes take the node lock to
+        exclude a concurrent type switch migrating the slots.
+        """
+        if view.header.node_type == NODE256:
+            slot_addr = self._slot_addr(node_addr, old_slot.partial)
+            swapped, _ = yield CasOp(slot_addr, old_slot.pack(), new_word)
+            return swapped
+        # Small node, 2 round trips: lock, then [slot CAS + unlock] in one
+        # doorbell.  The slot CAS needs no fresh read - slot indexes are
+        # stable (append-only cursor) and the CAS expected value detects
+        # any concurrent replacement; the unlock rides the same batch, so
+        # a failed CAS leaves the node consistent and the caller retries.
+        index = view.find_index_by_addr(old_slot.addr)
+        if index is None:
+            return False
+        locked = yield from try_lock_node(node_addr, view.header)
+        if not locked:
+            self.metrics.lock_failures += 1
+            return False
+        cas, _u = yield Batch([
+            CasOp(self._slot_addr(node_addr, index), old_slot.pack(),
+                  new_word),
+            unlock_op(node_addr, view.header),
+        ])
+        return cas[0]
+
+    def _type_switch(self, old_addr: int, fresh: NodeView,
+                     parent: Optional[Tuple[int, NodeView]],
+                     key: bytes, extra_child: Slot):
+        """Grow a full node (whose lock we hold) into the next type.
+
+        Order per the paper: make the new node visible via the parent
+        slot, mark the old node Invalid, then repoint the hash-table
+        entry (Sphinx hook).
+        """
+        header = fresh.header
+        old_type = header.node_type
+        new_type = self.grown_type(old_type)
+        depth = header.depth
+        prefix = key[:depth]
+        children = fresh.occupied_slots() + [extra_child]
+        new_header = Header(STATUS_IDLE, new_type, depth,
+                            header.prefix_hash, len(children))
+        new_addr = self._alloc_inner(prefix, new_type)
+        yield WriteOp(new_addr, self._build_node_image(new_header, children))
+        if parent is None:
+            parent = yield from self._find_parent(key, old_addr, depth)
+        if parent is None:
+            yield unlock_op(old_addr, header)
+            self._free_inner(new_addr, new_type)
+            return RETRY
+        parent_addr, parent_view = parent
+        old_parent_slot = Slot(addr=old_addr,
+                               partial=key[parent_view.header.depth],
+                               size_class=old_type, is_leaf=False,
+                               occupied=True)
+        new_parent_word = Slot(addr=new_addr,
+                               partial=key[parent_view.header.depth],
+                               size_class=new_type, is_leaf=False,
+                               occupied=True).pack()
+        ok = yield from self._replace_slot(parent_addr, parent_view,
+                                           old_parent_slot, new_parent_word)
+        if not ok:
+            yield unlock_op(old_addr, header)
+            self._free_inner(new_addr, new_type)
+            return RETRY
+        yield invalidate_op(old_addr, header)
+        yield from self.after_type_switch(prefix, old_addr, old_type,
+                                          new_addr, new_type)
+        self.invalidate_hint(old_addr)
+        self._retire_inner(old_addr, old_type)
+        self.metrics.type_switches += 1
+        return True
+
+    def _find_parent(self, key: bytes, child_addr: int, child_depth: int):
+        """Locate the node whose slot points at ``child_addr`` (needed
+        when a filter-located start node type-switches)."""
+        ctx = OpContext(key, child_depth - 1, attempt=1)
+        located = yield from self.locate_start(ctx)
+        if located is RETRY:
+            return None
+        cur_addr, cur, _trusted = located
+        for _ in range(256):
+            header = cur.header
+            if header.status == STATUS_INVALID or header.depth >= child_depth:
+                return None
+            slot = cur.find_child(key[header.depth])
+            if slot is None or slot.is_leaf:
+                return None
+            if slot.addr == child_addr:
+                return cur_addr, cur
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None or child.header.status == STATUS_INVALID:
+                return None
+            cur_addr, cur = slot.addr, child
+        return None
+
+    def _recover_leaf_key(self, view: NodeView, depth_budget: int = 64):
+        """Recover any full key stored under ``view`` (optimistic path
+        compression needs leaf bytes to learn a node's real prefix).
+
+        Returns the key, ``EMPTY_SUBTREE`` if the subtree verifiably holds
+        no live leaves, or None on transient trouble (mid-delete leaves,
+        retired nodes) - callers retry on None.
+        """
+        if depth_budget <= 0:
+            return None
+        occupied = view.occupied_slots()
+        if not occupied:
+            return EMPTY_SUBTREE
+        transient = False
+        for slot in occupied:
+            if slot.is_leaf:
+                leaf = yield from leaf_ops.read_leaf(slot.addr,
+                                                     slot.size_class)
+                if leaf.status == STATUS_INVALID or not leaf.checksum_ok:
+                    transient = True
+                    continue
+                return leaf.key
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None or child.header.status == STATUS_INVALID:
+                transient = True
+                continue
+            sub = yield from self._recover_leaf_key(child, depth_budget - 1)
+            if sub is EMPTY_SUBTREE:
+                continue
+            if sub is None:
+                transient = True
+                continue
+            return sub
+        return None if transient else EMPTY_SUBTREE
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def update(self, key: bytes, value: bytes):
+        """Op generator: overwrite ``key``; False if the key is absent."""
+        self.metrics.updates += 1
+        result = yield from self._run(
+            lambda ctx: self._update_once(ctx, value),
+            OpContext(key, len(key) - 1), "update")
+        return result
+
+    def _update_once(self, ctx: OpContext, value: bytes):
+        key = ctx.key
+        located = yield from self.locate_start(ctx)
+        if located is RETRY:
+            return RETRY
+        cur_addr, cur, trusted = located
+        while True:
+            header = cur.header
+            if header.status == STATUS_INVALID:
+                self.invalidate_hint(cur_addr)
+                return RETRY
+            depth = header.depth
+            if depth >= len(key):
+                self.metrics.fp_restarts += 1
+                ctx.shrink(depth - 1)
+                return RETRY
+            slot = cur.find_child(key[depth])
+            if slot is None:
+                if not trusted:
+                    cur = yield from self._refresh_node(cur_addr, cur)
+                    if cur is None:
+                        return RETRY
+                    trusted = True
+                    continue
+                return False
+            if slot.is_leaf:
+                leaf = yield from leaf_ops.read_leaf(slot.addr,
+                                                     slot.size_class)
+                if leaf.status != STATUS_IDLE:
+                    return RETRY
+                if leaf.key == key:
+                    outcome = yield from self._update_leaf(
+                        cur_addr, cur, slot, leaf, value)
+                    return True if outcome is not RETRY else RETRY
+                if not trusted:
+                    cur = yield from self._refresh_node(cur_addr, cur)
+                    if cur is None:
+                        return RETRY
+                    trusted = True
+                    continue
+                if common_prefix_len(key, leaf.key) < depth:
+                    self.metrics.fp_restarts += 1
+                    ctx.shrink(depth - 1)
+                    return RETRY
+                return False
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None:
+                return RETRY
+            if child.header.status == STATUS_INVALID:
+                self.invalidate_hint(slot.addr)
+                return RETRY
+            if child.header.depth <= depth:
+                return RETRY
+            if (child.header.depth < len(key)
+                    and child.header.prefix_hash
+                    == prefix_hash42(key[:child.header.depth])):
+                self.on_path(key[:child.header.depth])
+                cur_addr, cur = slot.addr, child
+                trusted = True
+                continue
+            if not trusted:
+                cur = yield from self._refresh_node(cur_addr, cur)
+                if cur is None:
+                    return RETRY
+                trusted = True
+                continue
+            return False
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def delete(self, key: bytes):
+        """Op generator: remove ``key``; False if absent."""
+        self.metrics.deletes += 1
+        result = yield from self._run(self._delete_once,
+                                      OpContext(key, len(key) - 1), "delete")
+        return result
+
+    def _delete_once(self, ctx: OpContext):
+        key = ctx.key
+        located = yield from self.locate_start(ctx)
+        if located is RETRY:
+            return RETRY
+        cur_addr, cur, trusted = located
+        while True:
+            header = cur.header
+            if header.status == STATUS_INVALID:
+                self.invalidate_hint(cur_addr)
+                return RETRY
+            depth = header.depth
+            if depth >= len(key):
+                self.metrics.fp_restarts += 1
+                ctx.shrink(depth - 1)
+                return RETRY
+            slot = cur.find_child(key[depth])
+            if slot is None:
+                if not trusted:
+                    cur = yield from self._refresh_node(cur_addr, cur)
+                    if cur is None:
+                        return RETRY
+                    trusted = True
+                    continue
+                return False
+            if slot.is_leaf:
+                leaf = yield from leaf_ops.read_leaf(slot.addr,
+                                                     slot.size_class)
+                if leaf.status == STATUS_INVALID:
+                    return RETRY  # another delete is mid-flight
+                if leaf.key != key:
+                    if not trusted:
+                        cur = yield from self._refresh_node(cur_addr, cur)
+                        if cur is None:
+                            return RETRY
+                        trusted = True
+                        continue
+                    if common_prefix_len(key, leaf.key) < depth:
+                        self.metrics.fp_restarts += 1
+                        ctx.shrink(depth - 1)
+                        return RETRY
+                    return False
+                if leaf.status != STATUS_IDLE:
+                    return RETRY
+                ok = yield from leaf_ops.invalidate_leaf(slot.addr, leaf)
+                if not ok:
+                    return RETRY
+                # The invalid leaf's slot must be cleared before we
+                # finish (readers retry on Invalid leaves), and the leaf
+                # block may only be freed once it is provably unlinked.
+                # Care: a racing split/type switch (or a stale cached
+                # parent view) can have RELINKED the leaf under a new
+                # inner node - the clear must chase it to its *current*
+                # parent, never assume "slot changed => already cleared".
+                victim_addr, victim_units = slot.addr, leaf.units
+                for _ in range(self.max_retries):
+                    cleared = yield from self._replace_slot(
+                        cur_addr, cur, slot, 0)
+                    if cleared:
+                        self._free_leaf(victim_addr, victim_units)
+                        return True
+                    found = yield from self._chase_leaf_slot(key,
+                                                             victim_addr)
+                    if found is RETRY:
+                        yield LocalCompute(self.backoff_ns)
+                        continue
+                    if found is None:
+                        # The key's path no longer reaches the victim:
+                        # it is unlinked and safe to reclaim.
+                        self._free_leaf(victim_addr, victim_units)
+                        return True
+                    cur_addr, cur, slot = found
+                raise RetryLimitExceeded(
+                    f"delete({key!r}) could not clear the leaf slot")
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None:
+                return RETRY
+            if child.header.status == STATUS_INVALID:
+                self.invalidate_hint(slot.addr)
+                return RETRY
+            if child.header.depth <= depth:
+                return RETRY
+            if (child.header.depth < len(key)
+                    and child.header.prefix_hash
+                    == prefix_hash42(key[:child.header.depth])):
+                cur_addr, cur = slot.addr, child
+                trusted = True
+                continue
+            if not trusted:
+                cur = yield from self._refresh_node(cur_addr, cur)
+                if cur is None:
+                    return RETRY
+                trusted = True
+                continue
+            return False
+
+    def _chase_leaf_slot(self, key: bytes, leaf_addr: int):
+        """Find the (node, view, slot) currently linking ``leaf_addr`` on
+        ``key``'s path, descending from the root with full validation.
+
+        Returns the triple, None if the key's path *definitely* does not
+        reach ``leaf_addr`` (it is unlinked), or RETRY on transient state
+        (locked/invalid nodes mid-change) - the caller backs off.
+        """
+        cur_addr = self.root_addr
+        cur = yield from self._read_node(cur_addr, NODE256)
+        if cur is None:
+            return RETRY
+        for _ in range(256):
+            header = cur.header
+            if header.status == STATUS_INVALID:
+                return RETRY
+            if header.depth >= len(key):
+                return RETRY  # structurally off-path; re-examine later
+            slot = cur.find_child(key[header.depth])
+            if slot is None:
+                return None  # path ends: the leaf is unlinked
+            if slot.is_leaf:
+                if slot.addr == leaf_addr:
+                    return cur_addr, cur, slot
+                return None  # path ends at a different leaf
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None or child.header.status == STATUS_INVALID:
+                return RETRY
+            if child.header.depth <= header.depth:
+                return RETRY
+            if (child.header.depth >= len(key)
+                    or child.header.prefix_hash
+                    != prefix_hash42(key[:child.header.depth])):
+                return None  # subtree diverges: leaf unreachable via key
+            cur_addr, cur = slot.addr, child
+        return RETRY
+
+    # ------------------------------------------------------------------
+    # Scan
+    # ------------------------------------------------------------------
+    def scan_count(self, start_key: bytes, count: int):
+        """Op generator: first ``count`` pairs with key >= start_key.
+
+        Scans traverse from the root (paper Sec. IV).  With doorbell
+        batching (Sphinx, SMART) the leaf reads - "the main bottleneck of
+        the workload" (Sec. V-B) - are deferred into a buffer and fetched
+        in result-budget-sized batches that span subtree boundaries; the
+        plain ART port issues every read sequentially.
+        """
+        self.metrics.scans += 1
+        state = _ScanState(start_key=start_key, count=count, hi=None)
+        root = yield from self._read_node(self.root_addr, NODE256)
+        if root is None:
+            return state.results
+        yield from self._scan_rec(root, b"", state, True)
+        yield from self._flush_leaves(state)
+        return state.results[:count]
+
+    def scan_range(self, lo: bytes, hi: bytes):
+        """Op generator: all pairs with lo <= key <= hi."""
+        self.metrics.scans += 1
+        state = _ScanState(start_key=lo, count=None, hi=hi)
+        root = yield from self._read_node(self.root_addr, NODE256)
+        if root is None:
+            return state.results
+        yield from self._scan_rec(root, b"", state, True)
+        yield from self._flush_leaves(state)
+        return state.results
+
+    def _flush_leaves(self, state: "_ScanState"):
+        """Fetch and filter the buffered leaf slots (one doorbell batch
+        when batching is on, sequential reads otherwise)."""
+        if not state.pending or state.done:
+            state.pending.clear()
+            return
+        reads = [ReadOp(s.addr, s.size_class * LEAF_ALIGN)
+                 for s in state.pending]
+        if self.scan_batched:
+            blobs = yield Batch(reads)
+        else:
+            blobs = []
+            for op in reads:
+                blobs.append((yield op))
+        for slot, blob in zip(state.pending, blobs):
+            if state.satisfied():
+                break
+            leaf = decode_leaf(blob)
+            if not leaf.checksum_ok:
+                leaf = yield from leaf_ops.read_leaf(slot.addr,
+                                                     slot.size_class)
+            if leaf.status == STATUS_INVALID or not leaf.checksum_ok:
+                continue
+            if leaf.key < state.start_key:
+                continue
+            if state.hi is not None and leaf.key > state.hi:
+                # Leaves are buffered in key order: nothing later fits.
+                state.done = True
+                break
+            state.results.append((leaf.key, leaf.value))
+        state.pending.clear()
+
+    def _scan_rec(self, view: NodeView, known_prefix: bytes,
+                  state: "_ScanState", ambiguous: bool):
+        """DFS in key order, buffering leaf slots for batched fetching.
+
+        Returns False once the scan is satisfied (stops the traversal).
+        """
+        start_key, hi = state.start_key, state.hi
+        depth = view.header.depth
+        real_prefix = known_prefix
+        if depth > len(known_prefix):
+            if not ambiguous and hi is None:
+                pass  # whole subtree already known in-range below
+            else:
+                witness = yield from self._recover_leaf_key(view)
+                if witness is EMPTY_SUBTREE or witness is None:
+                    return True  # nothing live below (or mid-churn: skip)
+                real_prefix = witness[:depth]
+        if ambiguous:
+            head = start_key[:depth]
+            if real_prefix < head:
+                return True   # entire subtree below the range start
+            if real_prefix > head:
+                ambiguous = False
+        if hi is not None and real_prefix > hi[:depth]:
+            state.done = True
+            return False      # entire subtree above the range end
+        threshold = start_key[depth] if ambiguous and depth < len(start_key) \
+            else None
+        children = sorted(view.occupied_slots(), key=lambda s: s.partial)
+        if threshold is not None:
+            children = [s for s in children if s.partial >= threshold]
+        if hi is not None and depth < len(hi):
+            # Conservative upper prune: children strictly above hi's byte
+            # can only hold keys > hi when the prefix equals hi's head.
+            if real_prefix == hi[:depth]:
+                children = [s for s in children if s.partial <= hi[depth]]
+        for slot in children:
+            if state.satisfied() or state.done:
+                return False
+            if slot.is_leaf:
+                state.pending.append(slot)
+                if state.buffer_full():
+                    yield from self._flush_leaves(state)
+                    if state.satisfied() or state.done:
+                        return False
+                continue
+            # Descend.  Before crossing a subtree boundary the buffered
+            # budget may already cover the request: flush first so the
+            # traversal can stop without reading another subtree.
+            if state.maybe_satisfied():
+                yield from self._flush_leaves(state)
+                if state.satisfied() or state.done:
+                    return False
+            child = yield from self._read_node(slot.addr, slot.size_class)
+            if child is None or child.header.status == STATUS_INVALID:
+                continue
+            child_ambiguous = ambiguous and slot.partial == threshold
+            keep_going = yield from self._scan_rec(
+                child, real_prefix + bytes([slot.partial]), state,
+                child_ambiguous)
+            if not keep_going:
+                return False
+        return True

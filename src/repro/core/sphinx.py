@@ -1,0 +1,315 @@
+"""Sphinx: the paper's hybrid index (Inner Node Hash Table + Succinct
+Filter Cache) as a client of the shared remote-ART engine.
+
+An index operation runs in three round trips in the common case:
+
+1. *Locally*, probe the succinct filter cache with every prefix of the
+   key, longest first, to find the deepest inner node's prefix ``P``.
+2. Read the inner-node hash-table bucket for ``P`` (one round trip) and,
+   from its fp2-matching entries, read the node(s) in one doorbell batch
+   (one round trip).  Entries are validated against the node header's
+   depth and 42-bit full-prefix hash; invalid or colliding entries fall
+   back to the next shorter filter hit, and ultimately to the root.
+3. Descend (usually one hop) to the leaf and read it (one round trip).
+
+``use_filter=False`` gives the paper's base design (Sec. III-A): the
+client reads the hash entries of *all* Theta(L) prefixes in one doorbell
+batch instead of consulting the filter - same round trips, much more NIC
+load.  This is the ablation Fig 4's analysis rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..art.layout import NODE256, STATUS_INVALID, decode_node, node_size
+from ..dm.cluster import Cluster
+from ..dm.rdma import Batch, LocalCompute, ReadOp
+from ..errors import ReproError, RetryLimitExceeded
+from ..filters.hotness import SuccinctFilterCache
+from ..race.layout import TableParams
+from ..util.hashing import prefix_hash42
+from .inht import InhtClient, InnerNodeHashTable
+from .remote_art import RETRY, OpContext, RemoteArtTree
+
+
+@dataclass(frozen=True)
+class SphinxConfig:
+    """Tunables of one Sphinx index (defaults follow the paper)."""
+
+    filter_budget_bytes: int = 1 << 20
+    """CN-side budget of the succinct filter cache (paper: 20 MB for 60 M
+    keys; scale proportionally to dataset size)."""
+
+    filter_fp_bits: int = 12
+    filter_bucket_slots: int = 4
+
+    use_filter: bool = True
+    """False = base design: batched Theta(L) hash-entry reads (Sec III-A)."""
+
+    table_groups_per_segment: int = 64
+    table_slots_per_group: int = 8
+    table_initial_depth: int = 2
+    table_max_depth: int = 10
+    """Caps the preallocated directory at 2^max_depth slots per MN (8 KiB
+    at the default); the fp2 scheme allows up to 12."""
+    table_seed: int = 0xD15C0
+
+    max_retries: int = 64
+    backoff_ns: int = 2_000
+
+    filter_probe_ns: int = 0
+    """Optional CN CPU cost charged per local filter probe sweep."""
+
+    def table_params(self) -> TableParams:
+        return TableParams(seed=self.table_seed,
+                           groups_per_segment=self.table_groups_per_segment,
+                           slots_per_group=self.table_slots_per_group,
+                           initial_depth=self.table_initial_depth,
+                           max_depth=self.table_max_depth)
+
+
+class _InhtSplitCoupling:
+    """Piggybacks the INHT insert of a freshly split-off inner node onto
+    the split's own doorbell batches (paper Sec. IV, Insert).
+
+    The hash-table bucket read rides the batch that writes the new leaf
+    and inner node; the entry CAS runs right after the split becomes
+    visible.  Cold directory caches or full/raced buckets fall back to
+    the regular two-round-trip insert.
+    """
+
+    def __init__(self, client: "SphinxClient", prefix: bytes, addr: int,
+                 node_type: int):
+        self._sphinx = client
+        self._prefix = prefix
+        self._race = client.inht._client_for(prefix)
+        self._entry = client.inht.entry_for(prefix, addr, node_type)
+        self._location = self._race.cached_group_location(prefix)
+        self._group = None
+
+    def pre_ops(self):
+        if self._location is None:
+            return []
+        group_addr, _h, _depth = self._location
+        return [self._race.probe_read_op(group_addr)]
+
+    def parse(self, results) -> None:
+        if self._location is None or not results:
+            return
+        group_addr, _h, local_depth = self._location
+        group = self._race._parse_group(group_addr, results[0])
+        if not group.locked and group.local_depth == local_depth:
+            self._group = group
+
+    def commit(self):
+        installed = False
+        if self._group is not None:
+            installed = yield from self._race.insert_into_group(
+                self._prefix, self._entry, self._group)
+        if not installed:
+            yield from self._race.insert(self._prefix, self._entry)
+        if self._sphinx.config.use_filter:
+            self._sphinx.filter.insert(self._prefix)
+
+
+class SphinxIndex:
+    """Cluster-wide Sphinx index: the remote tree plus its INHT."""
+
+    def __init__(self, cluster: Cluster,
+                 config: SphinxConfig | None = None):
+        self.cluster = cluster
+        self.config = config if config is not None else SphinxConfig()
+        self.root_addr = RemoteArtTree.create_root(cluster)
+        self.inht = InnerNodeHashTable.create(cluster,
+                                              self.config.table_params())
+        self._clients: Dict[int, SphinxClient] = {}
+
+    def client(self, cn_id: int) -> "SphinxClient":
+        """The per-CN client (workers on one CN share its caches)."""
+        if cn_id not in self._clients:
+            self._clients[cn_id] = SphinxClient(self, cn_id)
+        return self._clients[cn_id]
+
+    def inht_bytes(self) -> int:
+        """MN memory the inner node hash table occupies."""
+        return self.inht.total_bytes(self.cluster)
+
+
+class SphinxClient(RemoteArtTree):
+    """One compute node's Sphinx client."""
+
+    def __init__(self, index: SphinxIndex, cn_id: int):
+        config = index.config
+        super().__init__(index.cluster, index.root_addr,
+                         max_retries=config.max_retries,
+                         backoff_ns=config.backoff_ns)
+        self.index = index
+        self.cn_id = cn_id
+        self.config = config
+        self.filter = SuccinctFilterCache(
+            config.filter_budget_bytes, fp_bits=config.filter_fp_bits,
+            bucket_slots=config.filter_bucket_slots)
+        self.inht = InhtClient(index.cluster, index.inht)
+        self.multi_candidate_lookups = 0
+        """How often an INHT bucket held >1 fp2-matching entry (the paper
+        cites MemC3: typically one candidate)."""
+        self.inht_fallbacks = 0
+        """Searches that degraded to root traversal because the INHT was
+        unreachable (e.g. a bucket stuck behind an abandoned lock)."""
+
+    # ------------------------------------------------------------------
+    # Hook implementations
+    # ------------------------------------------------------------------
+    def locate_start(self, ctx: OpContext):
+        if self.config.use_filter:
+            result = yield from self._locate_with_filter(ctx)
+        else:
+            result = yield from self._locate_parallel(ctx)
+        return result
+
+    def on_path(self, prefix: bytes) -> None:
+        # Freshness rule (Sec. IV, Search): any on-path prefix reached by
+        # traversal rather than by the filter gets (re)inserted locally.
+        if self.config.use_filter and prefix:
+            self.metrics.stale_filter_fills += 1
+            self.filter.insert(prefix)
+
+    def after_new_inner(self, prefix: bytes, addr: int, node_type: int):
+        yield from self.inht.insert(prefix, addr, node_type)
+        if self.config.use_filter:
+            self.filter.insert(prefix)
+
+    def after_type_switch(self, prefix: bytes, old_addr: int, old_type: int,
+                          new_addr: int, new_type: int):
+        yield from self.inht.update_for_type_switch(
+            prefix, old_addr, old_type, new_addr, new_type)
+
+    def make_split_coupling(self, prefix: bytes, addr: int, node_type: int):
+        return _InhtSplitCoupling(self, prefix, addr, node_type)
+
+    # ------------------------------------------------------------------
+    # Locate via the succinct filter cache (common case: 2 round trips
+    # to the start node, leaf read is the third)
+    # ------------------------------------------------------------------
+    def _locate_with_filter(self, ctx: OpContext):
+        key = ctx.key
+        if self.config.filter_probe_ns:
+            yield LocalCompute(self.config.filter_probe_ns)
+        for depth in range(min(len(key) - 1, ctx.limit), 0, -1):
+            prefix = key[:depth]
+            if not self.filter.contains(prefix):
+                continue
+            try:
+                found = yield from self._fetch_via_inht(prefix, depth)
+            except RetryLimitExceeded:
+                # An INHT bucket stuck behind an abandoned segment-split
+                # lock must not take searches down with it: the tree is
+                # still intact, so degrade to root traversal.
+                self.inht_fallbacks += 1
+                break
+            if found is not None:
+                return found[0], found[1], True
+            # False positive (or evicted/stale entry): fall through to
+            # the next shorter prefix present in the filter.
+            self.metrics.fp_restarts += 1
+        view = yield from self._read_node(self.root_addr, NODE256)
+        if view is None:
+            return RETRY
+        return self.root_addr, view, True
+
+    def _fetch_via_inht(self, prefix: bytes, depth: int):
+        """Hash-entry read + doorbell-batched candidate node reads,
+        validated by header depth + 42-bit prefix hash."""
+        target_hash = prefix_hash42(prefix)
+        for _attempt in range(2):
+            matches = yield from self.inht.lookup(prefix)
+            if not matches:
+                return None
+            if len(matches) > 1:
+                self.multi_candidate_lookups += 1
+            blobs = yield Batch([ReadOp(entry.addr, node_size(entry.node_type))
+                                 for _slot, entry in matches])
+            saw_invalid = False
+            for (_slot, entry), blob in zip(matches, blobs):
+                try:
+                    view = decode_node(blob)
+                except ReproError:
+                    continue
+                if view.header.node_type != entry.node_type:
+                    continue
+                if view.header.status == STATUS_INVALID:
+                    saw_invalid = True
+                    continue
+                if (view.header.depth == depth
+                        and view.header.prefix_hash == target_hash):
+                    return entry.addr, view
+            if not saw_invalid:
+                return None
+            # A type switch is propagating to the hash table; the fresh
+            # entry lands within one round trip - retry the lookup once.
+            yield LocalCompute(self.backoff_ns)
+        return None
+
+    # ------------------------------------------------------------------
+    # Locate via parallel hash-entry reads (base design, Sec. III-A)
+    # ------------------------------------------------------------------
+    def _locate_parallel(self, ctx: OpContext):
+        key = ctx.key
+        max_depth = min(len(key) - 1, ctx.limit)
+        if max_depth < 1:
+            view = yield from self._read_node(self.root_addr, NODE256)
+            if view is None:
+                return RETRY
+            return self.root_addr, view, True
+        probes = yield from self.inht.probe_all(
+            [key[:d] for d in range(1, max_depth + 1)])
+        for depth in range(max_depth, 0, -1):
+            prefix = key[:depth]
+            matches = probes.get(prefix)
+            if matches is None:  # stale/locked group: precise fallback
+                matches = yield from self.inht.lookup(prefix)
+            if not matches:
+                continue
+            found = yield from self._validate_candidates(prefix, depth,
+                                                         matches)
+            if found is not None:
+                return found[0], found[1], True
+        view = yield from self._read_node(self.root_addr, NODE256)
+        if view is None:
+            return RETRY
+        return self.root_addr, view, True
+
+    def _validate_candidates(self, prefix: bytes, depth: int,
+                             matches: List[Tuple[int, object]]):
+        target_hash = prefix_hash42(prefix)
+        blobs = yield Batch([ReadOp(entry.addr, node_size(entry.node_type))
+                             for _slot, entry in matches])
+        for (_slot, entry), blob in zip(matches, blobs):
+            try:
+                view = decode_node(blob)
+            except ReproError:
+                continue
+            if view.header.node_type != entry.node_type:
+                continue
+            if view.header.status == STATUS_INVALID:
+                continue
+            if (view.header.depth == depth
+                    and view.header.prefix_hash == target_hash):
+                return entry.addr, view
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cn_cache_bytes(self) -> int:
+        """Total CN-side cache memory: filter + directory caches."""
+        return self.filter.size_bytes() + self.inht.directory_cache_bytes()
+
+    def cache_stats(self) -> dict:
+        stats = self.filter.stats()
+        stats["directory_cache_bytes"] = self.inht.directory_cache_bytes()
+        stats["inht_splits"] = self.inht.splits()
+        stats["multi_candidate_lookups"] = self.multi_candidate_lookups
+        return stats

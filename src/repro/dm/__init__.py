@@ -1,0 +1,49 @@
+"""Disaggregated-memory substrate: MN memory, NIC model, one-sided verbs."""
+
+from .cluster import Cluster, ClusterConfig
+from .memory import (
+    NULL_ADDR,
+    Memory,
+    addr_mn,
+    addr_offset,
+    format_addr,
+    make_addr,
+)
+from .network import NetworkConfig, Nic
+from .placement import NodePlacement
+from .rdma import (
+    Batch,
+    CasOp,
+    DirectExecutor,
+    FaaOp,
+    LocalCompute,
+    OpStats,
+    ReadOp,
+    SimExecutor,
+    WriteOp,
+    apply_verb,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "NULL_ADDR",
+    "Memory",
+    "addr_mn",
+    "addr_offset",
+    "format_addr",
+    "make_addr",
+    "NetworkConfig",
+    "Nic",
+    "NodePlacement",
+    "Batch",
+    "CasOp",
+    "DirectExecutor",
+    "FaaOp",
+    "LocalCompute",
+    "OpStats",
+    "ReadOp",
+    "SimExecutor",
+    "WriteOp",
+    "apply_verb",
+]

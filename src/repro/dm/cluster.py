@@ -1,0 +1,119 @@
+"""Cluster assembly: memory nodes, compute nodes, NICs, placement.
+
+A :class:`Cluster` bundles the full simulated testbed - the paper's three
+machines each hosting a CN and an MN - and hands out executors:
+
+* ``direct_executor()`` for untimed bulk loading / inspection,
+* ``sim_executor(cn_id)`` for timed benchmark clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigError
+from ..sim import Engine
+from .memory import Memory, addr_mn, addr_offset, make_addr
+from .network import NetworkConfig, Nic
+from .placement import NodePlacement
+from .rdma import DirectExecutor, OpStats, SimExecutor
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and sizing of the simulated DM cluster."""
+
+    num_mns: int = 3
+    num_cns: int = 3
+    mn_capacity_bytes: int = 1 << 30
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    ring_vnodes: int = 64
+    placement_seed: int = 11
+
+    def validate(self) -> None:
+        if self.num_mns < 1:
+            raise ConfigError("need at least one memory node")
+        if self.num_cns < 1:
+            raise ConfigError("need at least one compute node")
+        if self.mn_capacity_bytes < (1 << 16):
+            raise ConfigError("mn_capacity_bytes unreasonably small")
+
+
+class Cluster:
+    """The simulated disaggregated-memory testbed."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config if config is not None else ClusterConfig()
+        self.config.validate()
+        self.engine = Engine()
+        net = self.config.network
+        self.memories: Dict[int, Memory] = {
+            mn: Memory(mn, self.config.mn_capacity_bytes)
+            for mn in range(self.config.num_mns)
+        }
+        self.mn_nics: Dict[int, Nic] = {
+            mn: Nic(self.engine, f"mn{mn}.nic", net, "mn",
+                    net.mn_nic_capacity)
+            for mn in range(self.config.num_mns)
+        }
+        self.cn_nics: Dict[int, Nic] = {
+            cn: Nic(self.engine, f"cn{cn}.nic", net, "cn",
+                    net.cn_nic_capacity)
+            for cn in range(self.config.num_cns)
+        }
+        self.placement = NodePlacement(
+            list(self.memories), vnodes=self.config.ring_vnodes,
+            seed=self.config.placement_seed)
+
+    # -- allocation ------------------------------------------------------
+    def alloc(self, mn_id: int, size: int, category: str = "generic") -> int:
+        """Allocate on a specific MN; returns a 48-bit global address."""
+        offset = self.memories[mn_id].alloc(size, category)
+        return make_addr(mn_id, offset)
+
+    def alloc_for_prefix(self, prefix: bytes, size: int,
+                         category: str = "generic") -> int:
+        """Allocate on the MN that consistent hashing assigns to ``prefix``."""
+        return self.alloc(self.placement.mn_for_prefix(prefix), size, category)
+
+    def alloc_for_leaf(self, key: bytes, size: int,
+                       category: str = "leaf") -> int:
+        return self.alloc(self.placement.mn_for_leaf(key), size, category)
+
+    def free(self, addr: int, size: int, category: str = "generic") -> None:
+        """Release a block previously handed out by :meth:`alloc`."""
+        self.memories[addr_mn(addr)].free(addr_offset(addr), size, category)
+
+    def retire(self, addr: int, size: int, category: str = "generic") -> None:
+        """Release a once-visible block without recycling it (see
+        :meth:`repro.dm.memory.Memory.retire`)."""
+        self.memories[addr_mn(addr)].retire(addr_offset(addr), size, category)
+
+    # -- executors ---------------------------------------------------------
+    def direct_executor(self, stats: OpStats | None = None) -> DirectExecutor:
+        return DirectExecutor(self.memories, stats)
+
+    def sim_executor(self, cn_id: int,
+                     stats: OpStats | None = None) -> SimExecutor:
+        if cn_id not in self.cn_nics:
+            raise ConfigError(f"no such compute node {cn_id}")
+        return SimExecutor(self.engine, self.memories,
+                           self.cn_nics[cn_id], self.mn_nics,
+                           self.config.network, stats)
+
+    # -- accounting --------------------------------------------------------
+    def mn_bytes_by_category(self) -> Dict[str, int]:
+        """Net allocated MN bytes summed per category across all MNs."""
+        total: Dict[str, int] = {}
+        for memory in self.memories.values():
+            for category, size in memory.allocated_by_category.items():
+                total[category] = total.get(category, 0) + size
+        return total
+
+    def total_mn_bytes(self) -> int:
+        return sum(m.allocated_bytes() for m in self.memories.values())
+
+    def reset_nic_stats(self) -> None:
+        for nic in list(self.mn_nics.values()) + list(self.cn_nics.values()):
+            nic.reset_stats()

@@ -1,0 +1,39 @@
+"""Placement of index data across memory nodes.
+
+The paper distributes ART nodes (and their inner-node-hash-table entries)
+evenly across MNs with consistent hashing (Fig 1).  Placement is keyed by
+a node's **full prefix**, so the hash entry for a prefix and the node it
+points at can live on different MNs - exactly as in the paper, where the
+client first visits the MN owning the hash entry and then the MN owning
+the node.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..util.hashing import ConsistentHashRing
+
+
+class NodePlacement:
+    """Consistent-hashing placement over a fixed set of memory nodes."""
+
+    def __init__(self, mn_ids: Sequence[int], vnodes: int = 64, seed: int = 11):
+        self._ring = ConsistentHashRing(mn_ids, vnodes=vnodes, seed=seed)
+        self._mn_ids = list(mn_ids)
+
+    @property
+    def mn_ids(self) -> list:
+        return list(self._mn_ids)
+
+    def mn_for_prefix(self, prefix: bytes) -> int:
+        """The MN that owns the ART node (and INHT entry) for ``prefix``."""
+        return self._ring.lookup(prefix)
+
+    def mn_for_leaf(self, key: bytes) -> int:
+        """The MN that stores the leaf for ``key``.
+
+        Leaves hash by full key so that hot inner prefixes do not
+        concentrate leaf traffic on one MN.
+        """
+        return self._ring.lookup(b"leaf:" + key)

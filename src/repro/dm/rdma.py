@@ -1,0 +1,270 @@
+"""One-sided RDMA verbs and the executors that run them.
+
+Index algorithms in this library are written **once** as plain generators
+that yield verb descriptors (:class:`ReadOp`, :class:`WriteOp`,
+:class:`CasOp`, :class:`FaaOp`, a doorbell :class:`Batch`, or
+:class:`LocalCompute`) and receive the verb's result back.  Two executors
+drive such generators:
+
+* :class:`DirectExecutor` applies every verb immediately with no notion of
+  time - used for bulk loading, unit tests, and memory measurements.
+* :class:`SimExecutor` turns each verb into a timed trip through the
+  CN NIC -> fabric -> MN NIC -> DRAM -> back, inside the discrete-event
+  engine - used for all benchmarks.  Memory side effects are applied at
+  the simulated instant the MN NIC processes the request, so concurrent
+  clients interleave with exactly the atomicity of real one-sided RDMA.
+
+A :class:`Batch` models doorbell batching (Kalia et al., ATC'16): all verbs
+are posted together, traverse the network in parallel, and the client
+resumes when the last completion arrives - one round trip of latency, but
+``len(ops)`` messages of NIC load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping, Sequence, Tuple, Union
+
+from ..errors import SimulationError
+from .memory import Memory, addr_mn, addr_offset
+from .network import Nic
+
+
+# --------------------------------------------------------------------------
+# Verb descriptors
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReadOp:
+    """RDMA READ of ``size`` bytes at global address ``addr`` -> bytes."""
+    addr: int
+    size: int
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """RDMA WRITE of ``data`` at global address ``addr`` -> None."""
+    addr: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class CasOp:
+    """RDMA CAS on the 8-byte word at ``addr`` -> (swapped, old_value)."""
+    addr: int
+    expected: int
+    desired: int
+
+
+@dataclass(frozen=True)
+class FaaOp:
+    """RDMA FAA on the 8-byte word at ``addr`` -> old_value."""
+    addr: int
+    delta: int
+
+
+@dataclass(frozen=True)
+class LocalCompute:
+    """CN-side CPU work of ``ns`` nanoseconds (hashing, filter probes)."""
+    ns: int
+
+
+Verb = Union[ReadOp, WriteOp, CasOp, FaaOp]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A doorbell batch: verbs posted together, completing together."""
+    ops: Tuple[Verb, ...]
+
+    def __init__(self, ops: Sequence[Verb]):
+        object.__setattr__(self, "ops", tuple(ops))
+        for op in self.ops:
+            if isinstance(op, (Batch, LocalCompute)):
+                raise SimulationError("batches must contain plain verbs")
+
+
+OpOrBatch = Union[Verb, Batch, LocalCompute]
+OpGenerator = Generator[OpOrBatch, Any, Any]
+
+
+# --------------------------------------------------------------------------
+# Statistics
+# --------------------------------------------------------------------------
+
+@dataclass
+class OpStats:
+    """Verb-level counters for one executor (one client)."""
+
+    reads: int = 0
+    writes: int = 0
+    cas: int = 0
+    faa: int = 0
+    round_trips: int = 0
+    messages: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    batches: int = 0
+    local_compute_ns: int = 0
+
+    def count_verb(self, op: Verb) -> None:
+        if isinstance(op, ReadOp):
+            self.reads += 1
+            self.bytes_read += op.size
+        elif isinstance(op, WriteOp):
+            self.writes += 1
+            self.bytes_written += len(op.data)
+        elif isinstance(op, CasOp):
+            self.cas += 1
+        elif isinstance(op, FaaOp):
+            self.faa += 1
+        else:  # pragma: no cover - descriptor set is closed
+            raise SimulationError(f"unknown verb {op!r}")
+        self.messages += 1
+
+    def merge(self, other: "OpStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+# --------------------------------------------------------------------------
+# Shared verb semantics
+# --------------------------------------------------------------------------
+
+def apply_verb(memories: Mapping[int, Memory], op: Verb) -> Any:
+    """Execute a verb's memory side effect and return its result."""
+    memory = memories[addr_mn(op.addr)]
+    offset = addr_offset(op.addr)
+    if isinstance(op, ReadOp):
+        return memory.read(offset, op.size)
+    if isinstance(op, WriteOp):
+        memory.write(offset, op.data)
+        return None
+    if isinstance(op, CasOp):
+        return memory.cas_u64(offset, op.expected, op.desired)
+    if isinstance(op, FaaOp):
+        return memory.faa_u64(offset, op.delta)
+    raise SimulationError(f"unknown verb {op!r}")
+
+
+def _verb_sizes(op: Verb) -> Tuple[int, int]:
+    """(request payload bytes, response payload bytes) for timing."""
+    if isinstance(op, ReadOp):
+        return 0, op.size
+    if isinstance(op, WriteOp):
+        return len(op.data), 0
+    if isinstance(op, CasOp):
+        return 16, 8
+    if isinstance(op, FaaOp):
+        return 8, 8
+    raise SimulationError(f"unknown verb {op!r}")
+
+
+# --------------------------------------------------------------------------
+# Executors
+# --------------------------------------------------------------------------
+
+class DirectExecutor:
+    """Runs op generators instantly against simulated memory.
+
+    Verbs still update :class:`OpStats`, so tests can assert round-trip
+    counts (the paper's central metric) without running the clock.
+    """
+
+    def __init__(self, memories: Mapping[int, Memory],
+                 stats: OpStats | None = None):
+        self._memories = memories
+        self.stats = stats if stats is not None else OpStats()
+
+    def execute(self, op: OpOrBatch) -> Any:
+        if isinstance(op, LocalCompute):
+            self.stats.local_compute_ns += op.ns
+            return None
+        if isinstance(op, Batch):
+            self.stats.batches += 1
+            self.stats.round_trips += 1
+            results = []
+            for verb in op.ops:
+                self.stats.count_verb(verb)
+                results.append(apply_verb(self._memories, verb))
+            return results
+        self.stats.round_trips += 1
+        self.stats.count_verb(op)
+        return apply_verb(self._memories, op)
+
+    def run(self, gen: OpGenerator) -> Any:
+        """Drive ``gen`` to completion; returns its return value."""
+        result = None
+        while True:
+            try:
+                op = gen.send(result)
+            except StopIteration as stop:
+                return stop.value
+            result = self.execute(op)
+
+
+class SimExecutor:
+    """Runs op generators under the discrete-event clock.
+
+    :meth:`run` is itself a generator of engine events, so client processes
+    compose it with ``yield from`` (or hand it to ``engine.process``).
+    """
+
+    def __init__(self, engine, memories: Mapping[int, Memory],
+                 cn_nic: Nic, mn_nics: Mapping[int, Nic],
+                 config, stats: OpStats | None = None):
+        self.engine = engine
+        self._memories = memories
+        self._cn_nic = cn_nic
+        self._mn_nics = mn_nics
+        self._config = config
+        self.stats = stats if stats is not None else OpStats()
+
+    # -- single verb ----------------------------------------------------
+    def _verb(self, op: Verb):
+        """Timed execution of one verb (a generator of engine events)."""
+        cfg = self._config
+        mn_nic = self._mn_nics[addr_mn(op.addr)]
+        req_bytes, resp_bytes = _verb_sizes(op)
+        extra = cfg.atomic_extra_ns if isinstance(op, (CasOp, FaaOp)) else 0
+        self.stats.count_verb(op)
+
+        # Request through the CN NIC ...
+        yield self._cn_nic.process(req_bytes)
+        # ... across the wire, processed by the MN NIC ...
+        yield mn_nic.process(req_bytes, extra_ns=extra,
+                             arrive_delay=cfg.prop_ns)
+        # Side effect happens the instant the MN NIC executes the verb.
+        result = apply_verb(self._memories, op)
+        # Response: DRAM/DMA access, back through the MN NIC ...
+        yield mn_nic.process(resp_bytes, arrive_delay=cfg.mem_access_ns)
+        # ... across the wire, delivered by the CN NIC.
+        yield self._cn_nic.process(resp_bytes, arrive_delay=cfg.prop_ns)
+        return result
+
+    def _perform(self, op: OpOrBatch):
+        if isinstance(op, LocalCompute):
+            self.stats.local_compute_ns += op.ns
+            yield self.engine.timeout(op.ns)
+            return None
+        if isinstance(op, Batch):
+            self.stats.batches += 1
+            self.stats.round_trips += 1
+            procs = [self.engine.process(self._verb(verb), name="verb")
+                     for verb in op.ops]
+            results = yield self.engine.all_of(procs)
+            return results
+        self.stats.round_trips += 1
+        result = yield from self._verb(op)
+        return result
+
+    # -- generator driver -------------------------------------------------
+    def run(self, gen: OpGenerator):
+        """Drive ``gen`` under the clock; yields engine events throughout."""
+        result = None
+        while True:
+            try:
+                op = gen.send(result)
+            except StopIteration as stop:
+                return stop.value
+            result = yield from self._perform(op)

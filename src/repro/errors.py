@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Sphinx reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly or reached an
+    inconsistent state (e.g. running a finished process)."""
+
+
+class MemoryError_(ReproError):
+    """Simulated memory-node failure (out of memory, bad address, bad size).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class OutOfMemory(MemoryError_):
+    """Allocation failed because the memory node is exhausted."""
+
+
+class BadAddress(MemoryError_):
+    """An RDMA verb referenced an address outside any registered region."""
+
+
+class KeyCodecError(ReproError):
+    """A key could not be encoded (e.g. contains the terminator byte)."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure failures."""
+
+
+class KeyNotFound(IndexError_):
+    """A search/update/delete referenced a key that is not in the index."""
+
+
+class DuplicateKey(IndexError_):
+    """An insert-only operation found the key already present."""
+
+
+class RetryLimitExceeded(IndexError_):
+    """An optimistic operation exceeded its retry budget (indicates either a
+    pathological conflict rate or an index-corruption bug)."""
+
+
+class FilterError(ReproError):
+    """Cuckoo-filter failure (e.g. insertion impossible after max kicks with
+    eviction disabled)."""
+
+
+class HashTableError(ReproError):
+    """RACE hash-table failure (e.g. unresizable full bucket)."""
+
+
+class ConfigError(ReproError):
+    """An experiment or cluster configuration is invalid."""

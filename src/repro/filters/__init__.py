@@ -1,0 +1,6 @@
+"""Succinct membership structures: cuckoo filter and the filter cache."""
+
+from .cuckoo import CuckooFilter
+from .hotness import SuccinctFilterCache
+
+__all__ = ["CuckooFilter", "SuccinctFilterCache"]

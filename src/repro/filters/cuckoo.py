@@ -1,0 +1,144 @@
+"""A cuckoo filter (Fan et al., CoNEXT'14).
+
+The succinct data structure behind Sphinx's filter cache: an approximate
+membership set storing a small fingerprint per item in one of two
+candidate buckets, located with partial-key cuckoo hashing
+(``i2 = i1 XOR hash(fp)``), so relocation needs only the fingerprint.
+
+Properties exercised by the tests:
+
+* no false negatives for inserted-and-not-evicted items,
+* false-positive rate ~ ``2 * bucket_size / 2^fp_bits`` (< 1 % with the
+  paper's 12-bit fingerprints),
+* deletion support (unlike Bloom filters).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..errors import FilterError
+from ..util.hashing import fingerprint, hash64
+
+DEFAULT_BUCKET_SLOTS = 4
+DEFAULT_FP_BITS = 12
+DEFAULT_MAX_KICKS = 500
+EMPTY = 0
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+class CuckooFilter:
+    """Approximate membership over byte strings."""
+
+    def __init__(self, capacity: int, fp_bits: int = DEFAULT_FP_BITS,
+                 bucket_slots: int = DEFAULT_BUCKET_SLOTS,
+                 max_kicks: int = DEFAULT_MAX_KICKS,
+                 rng: random.Random | None = None):
+        if capacity <= 0:
+            raise FilterError("capacity must be positive")
+        if not 2 <= fp_bits <= 32:
+            raise FilterError("fp_bits must be in [2, 32]")
+        self.fp_bits = fp_bits
+        self.bucket_slots = bucket_slots
+        self.max_kicks = max_kicks
+        # Size for ~95% max load, power-of-two buckets for the XOR trick.
+        self.num_buckets = max(2, _next_pow2(
+            int(capacity / bucket_slots / 0.95) + 1))
+        self._mask = self.num_buckets - 1
+        self._table: List[int] = [EMPTY] * (self.num_buckets * bucket_slots)
+        self._rng = rng if rng is not None else random.Random(0xF117E5)
+        self.count = 0
+
+    # -- hashing ---------------------------------------------------------
+    def _fp(self, item: bytes) -> int:
+        return fingerprint(item, self.fp_bits)
+
+    def _index1(self, item: bytes) -> int:
+        return hash64(item, 0xB0CCE7) & self._mask
+
+    def _alt_index(self, index: int, fp: int) -> int:
+        return (index ^ hash64(fp.to_bytes(4, "little"), 0xA17)) & self._mask
+
+    def _candidates(self, item: bytes) -> Tuple[int, int, int]:
+        fp = self._fp(item)
+        i1 = self._index1(item)
+        return fp, i1, self._alt_index(i1, fp)
+
+    # -- bucket access ------------------------------------------------------
+    def _slot_range(self, bucket: int) -> range:
+        base = bucket * self.bucket_slots
+        return range(base, base + self.bucket_slots)
+
+    def _find_in_bucket(self, bucket: int, fp: int) -> int:
+        for slot in self._slot_range(bucket):
+            if self._table[slot] == fp:
+                return slot
+        return -1
+
+    def _free_slot(self, bucket: int) -> int:
+        return self._find_in_bucket(bucket, EMPTY)
+
+    # -- public API ------------------------------------------------------
+    def contains(self, item: bytes) -> bool:
+        fp, i1, i2 = self._candidates(item)
+        return (self._find_in_bucket(i1, fp) >= 0
+                or self._find_in_bucket(i2, fp) >= 0)
+
+    def insert(self, item: bytes) -> bool:
+        """Insert ``item``; returns False if the filter is too full.
+
+        Duplicate-looking inserts (same fingerprint, same buckets) are
+        stored again, as in the original filter, so delete stays safe.
+        """
+        fp, i1, i2 = self._candidates(item)
+        for bucket in (i1, i2):
+            slot = self._free_slot(bucket)
+            if slot >= 0:
+                self._table[slot] = fp
+                self.count += 1
+                return True
+        # Kick a random resident fingerprint along its alternate path.
+        bucket = self._rng.choice((i1, i2))
+        for _ in range(self.max_kicks):
+            victim_slot = bucket * self.bucket_slots + \
+                self._rng.randrange(self.bucket_slots)
+            fp, self._table[victim_slot] = self._table[victim_slot], fp
+            bucket = self._alt_index(bucket, fp)
+            slot = self._free_slot(bucket)
+            if slot >= 0:
+                self._table[slot] = fp
+                self.count += 1
+                return True
+        # Put the homeless fingerprint back where it came from is not
+        # possible in general; report failure (caller may resize).
+        self._table[victim_slot] = fp
+        return False
+
+    def delete(self, item: bytes) -> bool:
+        fp, i1, i2 = self._candidates(item)
+        for bucket in (i1, i2):
+            slot = self._find_in_bucket(bucket, fp)
+            if slot >= 0:
+                self._table[slot] = EMPTY
+                self.count -= 1
+                return True
+        return False
+
+    # -- introspection ------------------------------------------------------
+    def load_factor(self) -> float:
+        return self.count / (self.num_buckets * self.bucket_slots)
+
+    def size_bytes(self) -> int:
+        """Memory the filter would occupy packed (fp_bits per slot)."""
+        return (self.num_buckets * self.bucket_slots * self.fp_bits + 7) // 8
+
+    def expected_fp_rate(self) -> float:
+        """Upper bound on the false-positive probability at current load."""
+        return min(1.0, 2.0 * self.bucket_slots / (1 << self.fp_bits))

@@ -1,0 +1,177 @@
+"""The Succinct Filter Cache (paper Sec. III-B, Fig 2).
+
+A cuckoo filter sized to a CN-side byte budget, tracking the *existence*
+of inner-node prefixes rather than node contents.  When the budget cannot
+hold every prefix, a second-chance (clock-like) policy keeps hot prefixes:
+
+* every slot carries a **hotness bit**, set on access, cleared on
+  insert/relocation;
+* when both candidate buckets are full, a random cold entry (hotness 0)
+  is replaced;
+* if every candidate entry is hot, normal cuckoo relocation runs and all
+  relocated entries have their hotness reset;
+* if relocation exhausts its kick budget, the homeless fingerprint is
+  dropped (an eviction - a tolerable false negative, repaired lazily by
+  the search path's cache-refresh rule).
+
+Unlike the plain :class:`~repro.filters.cuckoo.CuckooFilter`, insertion
+therefore **never fails**; it may instead evict.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import FilterError
+from ..util.hashing import fingerprint, hash64
+
+EMPTY = 0
+
+
+def _floor_pow2(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p <<= 1
+    return p
+
+
+class SuccinctFilterCache:
+    """Budget-bound cuckoo filter with hot-prefix retention."""
+
+    def __init__(self, budget_bytes: int, fp_bits: int = 12,
+                 bucket_slots: int = 4, max_kicks: int = 64,
+                 rng: random.Random | None = None,
+                 second_chance: bool = True):
+        if budget_bytes < 16:
+            raise FilterError("filter budget unreasonably small")
+        if not 2 <= fp_bits <= 32:
+            raise FilterError("fp_bits must be in [2, 32]")
+        self.fp_bits = fp_bits
+        self.bucket_slots = bucket_slots
+        self.max_kicks = max_kicks
+        bits_per_slot = fp_bits + 1  # fingerprint + hotness bit
+        total_slots = max(bucket_slots * 2,
+                          budget_bytes * 8 // bits_per_slot)
+        self.num_buckets = _floor_pow2(max(2, total_slots // bucket_slots))
+        self._mask = self.num_buckets - 1
+        n = self.num_buckets * bucket_slots
+        self._fps: List[int] = [EMPTY] * n
+        self._hot: List[bool] = [False] * n
+        self._rng = rng if rng is not None else random.Random(0x5FC)
+        self.second_chance = second_chance
+        """False = ablation mode: evict uniformly, ignoring hotness bits."""
+        self.count = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- hashing (same scheme as the base filter) -------------------------
+    def _fp(self, item: bytes) -> int:
+        return fingerprint(item, self.fp_bits)
+
+    def _index1(self, item: bytes) -> int:
+        return hash64(item, 0xB0CCE7) & self._mask
+
+    def _alt_index(self, index: int, fp: int) -> int:
+        return (index ^ hash64(fp.to_bytes(4, "little"), 0xA17)) & self._mask
+
+    def _slots(self, bucket: int) -> range:
+        base = bucket * self.bucket_slots
+        return range(base, base + self.bucket_slots)
+
+    # -- queries ----------------------------------------------------------
+    def contains(self, item: bytes) -> bool:
+        """Existence check; a hit marks the entry as recently used."""
+        fp = self._fp(item)
+        i1 = self._index1(item)
+        for bucket in (i1, self._alt_index(i1, fp)):
+            for slot in self._slots(bucket):
+                if self._fps[slot] == fp:
+                    self._hot[slot] = True
+                    self.hits += 1
+                    return True
+        self.misses += 1
+        return False
+
+    # -- updates -----------------------------------------------------------
+    def insert(self, item: bytes) -> None:
+        """Insert ``item``; never fails (may evict a cold entry)."""
+        fp = self._fp(item)
+        i1 = self._index1(item)
+        i2 = self._alt_index(i1, fp)
+        # Already present? Nothing to do (idempotent for a *cache*).
+        for bucket in (i1, i2):
+            for slot in self._slots(bucket):
+                if self._fps[slot] == fp:
+                    return
+        for bucket in (i1, i2):
+            for slot in self._slots(bucket):
+                if self._fps[slot] == EMPTY:
+                    self._fps[slot] = fp
+                    self._hot[slot] = False
+                    self.count += 1
+                    return
+        # Both buckets full: second chance - replace a random cold entry.
+        # (In the ablation mode every resident counts as cold.)
+        cold = [slot for bucket in (i1, i2) for slot in self._slots(bucket)
+                if not (self.second_chance and self._hot[slot])]
+        if cold:
+            slot = self._rng.choice(cold)
+            self._fps[slot] = fp
+            self._hot[slot] = False
+            self.evictions += 1
+            return
+        # All hot: cuckoo relocation, resetting hotness along the way.
+        bucket = self._rng.choice((i1, i2))
+        for _ in range(self.max_kicks):
+            slot = bucket * self.bucket_slots + \
+                self._rng.randrange(self.bucket_slots)
+            fp, self._fps[slot] = self._fps[slot], fp
+            self._hot[slot] = False
+            bucket = self._alt_index(bucket, fp)
+            for target in self._slots(bucket):
+                if self._fps[target] == EMPTY:
+                    self._fps[target] = fp
+                    self._hot[target] = False
+                    self.count += 1
+                    return
+            for target in self._slots(bucket):
+                if not self._hot[target]:
+                    self._fps[target] = fp
+                    self._hot[target] = False
+                    self.evictions += 1
+                    return
+        # Kick budget exhausted: drop the homeless fingerprint.
+        self.evictions += 1
+
+    def delete(self, item: bytes) -> bool:
+        fp = self._fp(item)
+        i1 = self._index1(item)
+        for bucket in (i1, self._alt_index(i1, fp)):
+            for slot in self._slots(bucket):
+                if self._fps[slot] == fp:
+                    self._fps[slot] = EMPTY
+                    self._hot[slot] = False
+                    self.count -= 1
+                    return True
+        return False
+
+    # -- introspection ------------------------------------------------------
+    def load_factor(self) -> float:
+        return self.count / len(self._fps)
+
+    def size_bytes(self) -> int:
+        """Packed size: (fp_bits + 1 hotness bit) per slot."""
+        return (len(self._fps) * (self.fp_bits + 1) + 7) // 8
+
+    def stats(self) -> dict:
+        return {
+            "count": self.count,
+            "buckets": self.num_buckets,
+            "load": self.load_factor(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size_bytes": self.size_bytes(),
+        }

@@ -1,0 +1,30 @@
+"""One-sided extendible (RACE-style) hashing for disaggregated memory."""
+
+from .client import DirCacheEntry, GroupView, RaceClient
+from .layout import (
+    MAX_DEPTH,
+    TableInfo,
+    TableParams,
+    fp2_of,
+    group_index,
+    key_hash,
+    segment_index,
+)
+from .table import HASH_TABLE_CATEGORY, allocate_segment, create_table, table_bytes
+
+__all__ = [
+    "DirCacheEntry",
+    "GroupView",
+    "RaceClient",
+    "MAX_DEPTH",
+    "TableInfo",
+    "TableParams",
+    "fp2_of",
+    "group_index",
+    "key_hash",
+    "segment_index",
+    "HASH_TABLE_CATEGORY",
+    "allocate_segment",
+    "create_table",
+    "table_bytes",
+]

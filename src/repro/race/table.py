@@ -1,0 +1,60 @@
+"""MN-side construction of the one-sided extendible hash table.
+
+Building the table is a control-plane action (it happens when an index is
+created), so it writes simulated memory directly; all data-plane access
+afterwards goes through :class:`repro.race.client.RaceClient` generators.
+"""
+
+from __future__ import annotations
+
+from ..dm.cluster import Cluster
+from ..dm.memory import addr_offset
+from ..util.bits import u64_to_bytes
+from .layout import DIR_ENTRY, GROUP_HEADER, META, TableInfo, TableParams
+
+HASH_TABLE_CATEGORY = "hash_table"
+
+
+def _empty_segment(params: TableParams, local_depth: int) -> bytes:
+    header = GROUP_HEADER.pack(local_depth=local_depth, locked=0, version=0)
+    group = u64_to_bytes(header) + bytes(params.slots_per_group * 8)
+    return group * params.groups_per_segment
+
+
+def allocate_segment(cluster: Cluster, mn_id: int, params: TableParams,
+                     local_depth: int) -> int:
+    """Allocate and zero-init one segment; returns its global address."""
+    addr = cluster.alloc(mn_id, params.segment_size, HASH_TABLE_CATEGORY)
+    cluster.memories[mn_id].write(addr_offset(addr),
+                                  _empty_segment(params, local_depth))
+    return addr
+
+
+def create_table(cluster: Cluster, mn_id: int,
+                 params: TableParams) -> TableInfo:
+    """Create an empty table on ``mn_id``: meta word, preallocated
+    directory (sized for ``max_depth``), and the initial segments."""
+    memory = cluster.memories[mn_id]
+    meta_addr = cluster.alloc(mn_id, 8, HASH_TABLE_CATEGORY)
+    dir_addr = cluster.alloc(mn_id, params.directory_size,
+                             HASH_TABLE_CATEGORY)
+    depth = params.initial_depth
+    memory.write_u64(addr_offset(meta_addr),
+                     META.pack(global_depth=depth, lock=0))
+    # One segment per initial directory slot, mirrored across the
+    # preallocated (max-depth) directory so stale-depth reads stay valid.
+    initial_segments = 1 << depth
+    seg_addrs = [allocate_segment(cluster, mn_id, params, depth)
+                 for _ in range(initial_segments)]
+    for slot in range(params.directory_slots):
+        seg = seg_addrs[slot & (initial_segments - 1)]
+        word = DIR_ENTRY.pack(addr=seg, local_depth=depth, occupied=1)
+        memory.write_u64(addr_offset(dir_addr) + slot * 8, word)
+    return TableInfo(mn_id=mn_id, meta_addr=meta_addr, dir_addr=dir_addr,
+                     params=params)
+
+
+def table_bytes(cluster: Cluster, mn_id: int) -> int:
+    """Net bytes the hash table occupies on one MN."""
+    return cluster.memories[mn_id].allocated_by_category.get(
+        HASH_TABLE_CATEGORY, 0)

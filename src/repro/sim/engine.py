@@ -1,0 +1,208 @@
+"""A small deterministic discrete-event simulation engine.
+
+This is the timing substrate for the disaggregated-memory model: client
+operations are Python generators that ``yield`` events (timeouts, resource
+grants, sub-operations) and are resumed by the engine when those events
+fire.  The design follows SimPy's process/event model, trimmed to exactly
+what the RDMA substrate needs:
+
+* :class:`Event` - one-shot, carries a value, runs callbacks when fired.
+* :class:`Timeout` - an event scheduled ``delay`` ns in the future.
+* :class:`Process` - wraps a generator; itself an event that fires with
+  the generator's return value.
+* :class:`AllOf` - fires when every child event has fired (used for
+  doorbell-batched RDMA operations, which complete together).
+* :class:`Engine` - the clock and the event heap.
+
+Time is integer **nanoseconds**; all ordering is deterministic (ties broken
+by schedule order), which keeps benchmark results reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; :meth:`succeed` gives it a value and queues
+    its callbacks for execution at the current simulation time.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value read before it triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self.engine._queue_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback immediately so late
+            # subscribers (e.g. AllOf over a triggered event) still fire.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(engine)
+        self._value = value
+        engine._schedule(self, delay)
+
+
+class Process(Event):
+    """Drives a generator of events; fires with the generator's return value.
+
+    The generator may ``yield`` any :class:`Event`; it is resumed with the
+    event's value.  ``yield from`` composes sub-operations naturally.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        super().__init__(engine)
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        # Bootstrap: resume once at the current time.
+        boot = Event(engine)
+        boot.add_callback(self._resume)
+        boot._value = None
+        engine._queue_event(boot)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._gen.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires once all ``events`` have fired; value is the list of values.
+
+    Models doorbell batching: a batch of RDMA verbs is posted at once and
+    the client proceeds when the last completion arrives.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._child_done)
+
+    def _child_done(self, _event: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([c.value for c in self._children])
+
+
+class Engine:
+    """The simulation clock and scheduler."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: List = []
+        self._seq = 0
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(self, event: Event, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _queue_event(self, event: Event) -> None:
+        self._schedule(event, 0)
+
+    # -- public factory helpers ---------------------------------------
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- main loop ----------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Process events until the heap empties or the clock passes
+        ``until``.  Returns the final simulation time."""
+        while self._heap:
+            when, _seq, event = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for fn in callbacks:
+                    fn(event)
+        return self.now
+
+    def run_until_complete(self, process: Process,
+                           limit: Optional[int] = None) -> Any:
+        """Run until ``process`` finishes; returns its value.
+
+        ``limit`` guards against runaway simulations (deadlock / livelock
+        bugs) by bounding simulated time.
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} pending with an "
+                    "empty event heap"
+                )
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"process {process.name!r} exceeded time limit {limit}"
+                )
+            self.run(until=self._heap[0][0])
+        return process.value

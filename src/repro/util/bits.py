@@ -1,0 +1,105 @@
+"""Bit-field packing helpers.
+
+All on-"wire" structures in this library (ART headers, slots, RACE hash
+entries) are packed 64-bit little-endian words built out of named bit
+fields.  :class:`BitField` and :class:`BitStruct` give those layouts a
+single declarative definition with symmetric ``pack``/``unpack``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+_U64 = struct.Struct("<Q")
+
+U64_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class BitField:
+    """A named contiguous run of bits inside a 64-bit word."""
+
+    name: str
+    shift: int
+    width: int
+
+    @property
+    def mask(self) -> int:
+        return ((1 << self.width) - 1) << self.shift
+
+    def get(self, word: int) -> int:
+        return (word >> self.shift) & ((1 << self.width) - 1)
+
+    def set(self, word: int, value: int) -> int:
+        limit = 1 << self.width
+        if not 0 <= value < limit:
+            raise ValueError(
+                f"value {value} does not fit in field {self.name!r} "
+                f"({self.width} bits)"
+            )
+        return (word & ~self.mask) | (value << self.shift)
+
+
+class BitStruct:
+    """A 64-bit word made of consecutive :class:`BitField` entries.
+
+    Fields are declared low-bit-first as ``(name, width)`` pairs.  Unused
+    high bits are allowed; overlapping or overflowing fields are not.
+    """
+
+    def __init__(self, name: str, fields: Iterable[Tuple[str, int]]):
+        self.name = name
+        self.fields: Dict[str, BitField] = {}
+        shift = 0
+        for fname, width in fields:
+            if width <= 0:
+                raise ValueError(f"field {fname!r} must have positive width")
+            if fname in self.fields:
+                raise ValueError(f"duplicate field {fname!r}")
+            self.fields[fname] = BitField(fname, shift, width)
+            shift += width
+        if shift > 64:
+            raise ValueError(f"{name}: fields occupy {shift} bits > 64")
+        self.total_bits = shift
+
+    def pack(self, **values: int) -> int:
+        """Build a word from field values; unspecified fields are zero."""
+        word = 0
+        for fname, value in values.items():
+            try:
+                field = self.fields[fname]
+            except KeyError:
+                raise ValueError(f"{self.name} has no field {fname!r}") from None
+            word = field.set(word, value)
+        return word
+
+    def unpack(self, word: int) -> Dict[str, int]:
+        """Explode a word into a dict of all field values."""
+        if not 0 <= word <= U64_MASK:
+            raise ValueError("word out of 64-bit range")
+        return {fname: f.get(word) for fname, f in self.fields.items()}
+
+    def get(self, word: int, fname: str) -> int:
+        return self.fields[fname].get(word)
+
+    def set(self, word: int, fname: str, value: int) -> int:
+        return self.fields[fname].set(word, value)
+
+
+def u64_to_bytes(word: int) -> bytes:
+    """Encode a 64-bit word little-endian (the library's wire order)."""
+    return _U64.pack(word & U64_MASK)
+
+
+def u64_from_bytes(data: bytes, offset: int = 0) -> int:
+    """Decode a little-endian 64-bit word from ``data`` at ``offset``."""
+    return _U64.unpack_from(data, offset)[0]
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the next multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError("multiple must be positive")
+    return ((value + multiple - 1) // multiple) * multiple

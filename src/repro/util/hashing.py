@@ -1,0 +1,105 @@
+"""Deterministic hashing primitives.
+
+The index stack needs several independent hash functions of byte strings:
+
+* bucket placement in the RACE hash table (two functions, per MN),
+* 12-bit fingerprints stored in hash entries (fp2 in the paper's Fig 3),
+* the 42-bit full-prefix hash stored in ART node headers,
+* cuckoo-filter bucket/fingerprint hashes,
+* the consistent-hashing ring that spreads ART nodes over memory nodes.
+
+Everything here is seeded and deterministic across processes (CPython's
+builtin ``hash`` is not), built on ``zlib.crc32`` for speed with a
+splitmix64 finalizer to de-correlate the two 32-bit halves.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import List, Sequence, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Finalizer from the splitmix64 PRNG; a strong 64-bit bit mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def hash64(data: bytes, seed: int = 0) -> int:
+    """Seeded 64-bit hash of ``data``.
+
+    Two CRC32 passes with seed-derived initial values provide 64 input-
+    sensitive bits; splitmix64 mixes them so that low bits are usable as
+    bucket indexes and high bits as fingerprints.
+    """
+    lo = zlib.crc32(data, seed & 0xFFFFFFFF)
+    hi = zlib.crc32(data, (~seed ^ 0x5BD1E995) & 0xFFFFFFFF)
+    return _splitmix64((hi << 32) | lo ^ ((seed >> 32) & _MASK64))
+
+
+def hash_pair(data: bytes, seed: int = 0) -> Tuple[int, int]:
+    """Two independent 64-bit hashes of ``data`` (for two-choice hashing)."""
+    h1 = hash64(data, seed)
+    h2 = _splitmix64(h1 ^ 0xA5A5A5A5DEADBEEF)
+    return h1, h2
+
+
+def fingerprint(data: bytes, bits: int, seed: int = 0x0F1E2D3C) -> int:
+    """A ``bits``-wide nonzero fingerprint of ``data``.
+
+    Fingerprint 0 is reserved to mean "empty slot" in both the cuckoo
+    filter and the inner-node hash table, so the value is remapped to 1.
+    """
+    if not 1 <= bits <= 62:
+        raise ValueError("fingerprint width must be in [1, 62]")
+    fp = hash64(data, seed) & ((1 << bits) - 1)
+    return fp if fp != 0 else 1
+
+
+def prefix_hash42(data: bytes) -> int:
+    """The 42-bit full-prefix hash stored in ART inner-node headers."""
+    return hash64(data, 0x42_42_42) & ((1 << 42) - 1)
+
+
+class ConsistentHashRing:
+    """A classic consistent-hashing ring with virtual nodes.
+
+    Used to spread ART nodes (and their hash-table entries) across memory
+    nodes, as in the paper's Fig 1.  Lookup is O(log V) via bisect.
+    """
+
+    def __init__(self, members: Sequence[int], vnodes: int = 64, seed: int = 7):
+        if not members:
+            raise ValueError("ring needs at least one member")
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self._members = list(members)
+        self._seed = seed
+        points: List[Tuple[int, int]] = []
+        for member in self._members:
+            for v in range(vnodes):
+                token = hash64(f"{member}:{v}".encode(), seed)
+                points.append((token, member))
+        points.sort()
+        self._tokens = [p[0] for p in points]
+        self._owners = [p[1] for p in points]
+
+    @property
+    def members(self) -> List[int]:
+        return list(self._members)
+
+    def lookup(self, data: bytes) -> int:
+        """Return the member owning ``data``."""
+        h = hash64(data, self._seed ^ 0xC0FFEE)
+        idx = bisect.bisect_right(self._tokens, h)
+        if idx == len(self._tokens):
+            idx = 0
+        return self._owners[idx]
+
+    def lookup_int(self, value: int) -> int:
+        return self.lookup(value.to_bytes(8, "little", signed=False))

@@ -1,0 +1,19 @@
+"""YCSB benchmark: datasets, workload mixes, closed-loop runner."""
+
+from .datasets import Dataset, make_dataset, make_email_dataset, make_u64_dataset
+from .runner import RunResult, bulk_load, run_workload, warm_clients
+from .workloads import WORKLOADS, WorkloadSpec, workload
+
+__all__ = [
+    "Dataset",
+    "make_dataset",
+    "make_email_dataset",
+    "make_u64_dataset",
+    "RunResult",
+    "bulk_load",
+    "run_workload",
+    "warm_clients",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "workload",
+]

@@ -1,0 +1,114 @@
+"""Key datasets for the evaluation (paper Sec. V-A).
+
+* ``u64``: 8-byte fixed-length integers drawn uniformly at random,
+  encoded big-endian (binary-comparable, prefix-free).
+* ``email``: the paper uses a public 300M-address email dump, which is
+  not redistributable here; we substitute a synthetic generator that
+  matches the properties that matter for ART structure - variable length
+  (2-32 bytes, mean about 19), heavy shared prefixes (popular first
+  names / handles) and a skewed domain distribution.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..art.keys import encode_str, encode_u64
+
+_FIRST = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "liz", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kim", "paul", "emily",
+    "andrew", "donna", "joshua", "michelle", "ken", "dorothy", "kevin",
+    "carol", "brian", "amanda", "george", "melissa", "edward", "deborah",
+    "wang", "li", "zhang", "liu", "chen", "yang", "zhao", "huang", "zhou",
+    "wu", "xu", "sun", "hu", "zhu", "gao", "lin", "he", "guo", "ma", "luo",
+]
+_LAST = [
+    "smith", "jones", "brown", "lee", "wilson", "taylor", "khan", "singh",
+    "garcia", "miller", "davis", "lopez", "gonzalez", "chen", "kim",
+    "nguyen", "patel", "mueller", "silva", "santos", "ali", "ahmed",
+    "sato", "suzuki", "tanaka", "ito", "kobayashi", "kato", "yamada",
+    "park", "choi", "jung", "kang", "cho", "yoon", "lim", "han", "oh",
+]
+_DOMAINS = [
+    # (domain, weight): skewed like real providers.
+    ("gmail.com", 40), ("yahoo.com", 18), ("hotmail.com", 12),
+    ("qq.com", 8), ("163.com", 6), ("outlook.com", 5), ("aol.com", 3),
+    ("icloud.com", 2), ("mail.ru", 2), ("gmx.de", 1), ("web.de", 1),
+    ("protonmail.com", 1), ("yandex.ru", 1),
+]
+_SEPARATORS = ["", ".", "_", "-"]
+
+
+@dataclass
+class Dataset:
+    """A loaded key set plus the pool of extra keys YCSB inserts draw on."""
+
+    name: str
+    keys: List[bytes]          # loaded into the index before the run
+    insert_pool: List[bytes]   # unseen keys consumed by insert operations
+
+    @property
+    def size(self) -> int:
+        return len(self.keys)
+
+    def average_key_len(self) -> float:
+        return sum(len(k) for k in self.keys) / len(self.keys)
+
+
+def make_u64_dataset(n: int, seed: int = 1, insert_pool: int = 0) -> Dataset:
+    """Unique uniform 64-bit keys (encoded), plus an optional insert pool."""
+    rng = random.Random(seed)
+    seen = set()
+    while len(seen) < n + insert_pool:
+        seen.add(rng.getrandbits(64))
+    ordered = list(seen)
+    rng.shuffle(ordered)
+    encoded = [encode_u64(v) for v in ordered]
+    return Dataset("u64", encoded[:n], encoded[n:])
+
+
+def _random_email(rng: random.Random) -> str:
+    first = rng.choice(_FIRST)
+    style = rng.random()
+    if style < 0.35:
+        local = f"{first}{rng.choice(_SEPARATORS)}{rng.choice(_LAST)}"
+    elif style < 0.65:
+        local = f"{first}{rng.randrange(1, 10_000)}"
+    elif style < 0.85:
+        local = f"{first[0]}{rng.choice(_SEPARATORS)}{rng.choice(_LAST)}" \
+                f"{rng.randrange(100)}"
+    else:
+        local = f"{first}{rng.choice(_SEPARATORS)}{rng.choice(_LAST)}" \
+                f"{rng.randrange(100)}"
+    domains, weights = zip(*_DOMAINS)
+    domain = rng.choices(domains, weights=weights, k=1)[0]
+    email = f"{local}@{domain}"
+    return email[:31]  # paper: 2-32 bytes
+
+
+def make_email_dataset(n: int, seed: int = 2,
+                       insert_pool: int = 0) -> Dataset:
+    """Unique synthetic email-address keys (terminated, prefix-free)."""
+    rng = random.Random(seed)
+    seen = set()
+    while len(seen) < n + insert_pool:
+        seen.add(_random_email(rng))
+    ordered = list(seen)
+    rng.shuffle(ordered)
+    encoded = [encode_str(e) for e in ordered]
+    return Dataset("email", encoded[:n], encoded[n:])
+
+
+def make_dataset(name: str, n: int, seed: int = 1,
+                 insert_pool: int = 0) -> Dataset:
+    if name == "u64":
+        return make_u64_dataset(n, seed, insert_pool)
+    if name == "email":
+        return make_email_dataset(n, seed, insert_pool)
+    raise ValueError(f"unknown dataset {name!r}")

@@ -1,0 +1,256 @@
+"""Drive YCSB workloads against an index on the simulated cluster.
+
+The runner reproduces the paper's methodology (Sec. V-A/V-C):
+
+* the dataset is bulk-loaded untimed;
+* per-CN caches are warmed (the paper's clients run long enough for
+  caches to reach steady state; we warm explicitly so short simulated
+  runs measure steady-state behaviour);
+* ``workers`` closed-loop clients - the paper's coroutines - are spread
+  evenly over the CNs and executed as simulation processes;
+* throughput is completed operations over simulated time, latency is
+  per-operation simulated time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dm.cluster import Cluster
+from ..dm.rdma import OpStats
+from ..errors import ConfigError
+from ..sim.resources import LatencyRecorder
+from ..util.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+from .datasets import Dataset
+from .workloads import ZIPFIAN_THETA, WorkloadSpec
+
+
+@dataclass
+class RunResult:
+    """Outcome of one timed workload run."""
+
+    system: str
+    workload: str
+    dataset: str
+    workers: int
+    ops: int
+    sim_ns: int
+    latency: LatencyRecorder
+    op_stats: OpStats
+    nic_utilization: Dict[str, float] = field(default_factory=dict)
+    client_metrics: Dict[str, int] = field(default_factory=dict)
+    latency_by_op: Dict[str, LatencyRecorder] = field(default_factory=dict)
+
+    @property
+    def throughput_mops(self) -> float:
+        """Throughput in million operations per (simulated) second."""
+        if self.sim_ns == 0:
+            return 0.0
+        return self.ops / (self.sim_ns / 1e9) / 1e6
+
+    @property
+    def avg_latency_us(self) -> float:
+        return self.latency.mean() / 1e3
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self.latency.percentile(99) / 1e3
+
+    @property
+    def round_trips_per_op(self) -> float:
+        return self.op_stats.round_trips / self.ops if self.ops else 0.0
+
+    @property
+    def messages_per_op(self) -> float:
+        return self.op_stats.messages / self.ops if self.ops else 0.0
+
+    def row(self) -> dict:
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "dataset": self.dataset,
+            "workers": self.workers,
+            "ops": self.ops,
+            "throughput_mops": round(self.throughput_mops, 4),
+            "avg_latency_us": round(self.avg_latency_us, 3),
+            "p99_latency_us": round(self.p99_latency_us, 3),
+            "round_trips_per_op": round(self.round_trips_per_op, 3),
+            "messages_per_op": round(self.messages_per_op, 3),
+        }
+
+
+def _value(seq: int, size: int) -> bytes:
+    """A distinguishable fixed-size value payload."""
+    stamp = seq.to_bytes(8, "little")
+    return (stamp * (size // 8 + 1))[:size]
+
+
+def bulk_load(cluster: Cluster, index, dataset: Dataset,
+              value_size: int = 64) -> None:
+    """Insert the dataset untimed through one client per CN round-robin,
+    so every CN's local caches see a share of the tree."""
+    num_cns = cluster.config.num_cns
+    executors = [cluster.direct_executor() for _ in range(num_cns)]
+    clients = [index.client(cn) for cn in range(num_cns)]
+    for i, key in enumerate(dataset.keys):
+        cn = i % num_cns
+        executors[cn].run(clients[cn].insert(key, _value(i, value_size)))
+
+
+def warm_clients(cluster: Cluster, index, spec: WorkloadSpec,
+                 dataset: Dataset, warmup_ops_per_cn: int,
+                 seed: int = 99) -> None:
+    """Run untimed searches on every CN to bring caches to steady state."""
+    if warmup_ops_per_cn <= 0:
+        return
+    for cn in range(cluster.config.num_cns):
+        rng = random.Random(seed + cn)
+        chooser = _make_chooser(spec, dataset, rng)
+        client = index.client(cn)
+        executor = cluster.direct_executor()
+        for _ in range(warmup_ops_per_cn):
+            key = dataset.keys[chooser.next() % len(dataset.keys)]
+            executor.run(client.search(key))
+
+
+def _make_chooser(spec: WorkloadSpec, dataset: Dataset,
+                  rng: random.Random):
+    n = len(dataset.keys)
+    if spec.distribution == "zipfian":
+        return ScrambledZipfianGenerator(n, ZIPFIAN_THETA, rng)
+    if spec.distribution == "uniform":
+        return UniformGenerator(n, rng)
+    if spec.distribution == "latest":
+        return LatestGenerator(n, ZIPFIAN_THETA, rng)
+    raise ConfigError(f"bad distribution {spec.distribution!r}")
+
+
+class _SharedRunState:
+    """State shared by all workers of one run (keys seen, insert pool)."""
+
+    def __init__(self, dataset: Dataset, spec: WorkloadSpec, seed: int):
+        self.keys: List[bytes] = list(dataset.keys)
+        self.pool: List[bytes] = list(dataset.insert_pool)
+        self.spec = spec
+        self.seed = seed
+        self.insert_seq = len(self.keys)
+
+    def next_insert_key(self) -> Optional[bytes]:
+        if not self.pool:
+            return None
+        key = self.pool.pop()
+        self.keys.append(key)
+        self.insert_seq += 1
+        return key
+
+
+def _worker(cluster: Cluster, index, state: _SharedRunState, wid: int,
+            cn: int, ops: int, latency: LatencyRecorder, stats: OpStats,
+            latency_by_op: Dict[str, LatencyRecorder]):
+    """One closed-loop client coroutine (a simulation process)."""
+    spec = state.spec
+    rng = random.Random(state.seed * 7919 + wid)
+    chooser = _make_chooser(spec, _DatasetView(state), rng)
+    client = index.client(cn)
+    executor = cluster.sim_executor(cn, stats)
+    engine = cluster.engine
+    mix = spec.mix()
+    ops_names = [k for k, v in mix.items() if v > 0]
+    weights = [mix[k] for k in ops_names]
+    for i in range(ops):
+        op_name = rng.choices(ops_names, weights=weights, k=1)[0]
+        start = engine.now
+        if op_name == "read":
+            key = state.keys[chooser.next() % len(state.keys)]
+            yield from executor.run(client.search(key))
+        elif op_name == "update":
+            key = state.keys[chooser.next() % len(state.keys)]
+            yield from executor.run(
+                client.update(key, _value(wid * ops + i, spec.value_size)))
+        elif op_name == "insert":
+            key = state.next_insert_key()
+            if key is None:  # pool exhausted: degrade to an update
+                key = state.keys[chooser.next() % len(state.keys)]
+                yield from executor.run(
+                    client.update(key, _value(i, spec.value_size)))
+            else:
+                yield from executor.run(
+                    client.insert(key, _value(state.insert_seq,
+                                              spec.value_size)))
+                if isinstance(chooser, LatestGenerator):
+                    chooser.advance()
+        elif op_name == "scan":
+            key = state.keys[chooser.next() % len(state.keys)]
+            length = rng.randint(1, spec.scan_max_len)
+            yield from executor.run(client.scan_count(key, length))
+        elif op_name == "rmw":
+            key = state.keys[chooser.next() % len(state.keys)]
+            value = yield from executor.run(client.search(key))
+            new = _value(i, spec.value_size) if value is None else \
+                bytes(reversed(value))
+            yield from executor.run(client.update(key, new))
+        elapsed = engine.now - start
+        latency.record(elapsed)
+        latency_by_op.setdefault(op_name, LatencyRecorder()).record(elapsed)
+
+
+class _DatasetView:
+    """Adapter so _make_chooser sizes distributions off the live key list."""
+
+    def __init__(self, state: _SharedRunState):
+        self.keys = state.keys
+
+
+def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
+                 dataset: Dataset, *, system: str = "index",
+                 workers: int = 12, ops: int = 6_000,
+                 warmup_ops_per_cn: int = 0, seed: int = 0,
+                 time_limit_ns: int = 10_000_000_000_000) -> RunResult:
+    """Execute one timed run and collect throughput/latency/verb stats."""
+    if workers < 1:
+        raise ConfigError("need at least one worker")
+    warm_clients(cluster, index, spec, dataset, warmup_ops_per_cn, seed)
+    num_cns = cluster.config.num_cns
+    state = _SharedRunState(dataset, spec, seed)
+    latency = LatencyRecorder()
+    latency_by_op: Dict[str, LatencyRecorder] = {}
+    stats = OpStats()
+    cluster.reset_nic_stats()
+    engine = cluster.engine
+    start_ns = engine.now
+    per_worker = ops // workers
+    actual_ops = per_worker * workers
+    processes = []
+    for wid in range(workers):
+        cn = wid % num_cns
+        gen = _worker(cluster, index, state, wid, cn, per_worker,
+                      latency, stats, latency_by_op)
+        processes.append(engine.process(gen, name=f"worker{wid}"))
+    for process in processes:
+        engine.run_until_complete(process, limit=start_ns + time_limit_ns)
+    sim_ns = engine.now - start_ns
+    nic_util = {}
+    for mn, nic in cluster.mn_nics.items():
+        nic_util[f"mn{mn}"] = round(nic.server.busy_time
+                                    / max(sim_ns, 1), 4)
+    for cn, nic in cluster.cn_nics.items():
+        nic_util[f"cn{cn}"] = round(nic.server.busy_time
+                                    / max(sim_ns, 1), 4)
+    metrics: Dict[str, int] = {}
+    for cn in range(num_cns):
+        client_metrics = index.client(cn).metrics
+        items = client_metrics.as_dict().items() \
+            if hasattr(client_metrics, "as_dict") else client_metrics.items()
+        for name, value in items:
+            metrics[name] = metrics.get(name, 0) + value
+    return RunResult(system=system, workload=spec.name,
+                     dataset=dataset.name, workers=workers, ops=actual_ops,
+                     sim_ns=sim_ns, latency=latency, op_stats=stats,
+                     nic_utilization=nic_util, client_metrics=metrics,
+                     latency_by_op=latency_by_op)

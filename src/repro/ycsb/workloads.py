@@ -1,0 +1,61 @@
+"""YCSB workload definitions (paper Sec. V-A).
+
+The paper evaluates workloads A-E plus a 100%-insert LOAD, with a zipfian
+(0.99) request distribution and 64-byte values.  Workload D reads with the
+*latest* distribution; the paper pairs it with 5% updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+
+ZIPFIAN_THETA = 0.99
+DEFAULT_VALUE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix + request distribution of one YCSB workload."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"  # zipfian | uniform | latest
+    scan_max_len: int = 100
+    value_size: int = DEFAULT_VALUE_SIZE
+
+    def __post_init__(self):
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"workload {self.name}: mix sums to {total}")
+        if self.distribution not in ("zipfian", "uniform", "latest"):
+            raise ConfigError(f"bad distribution {self.distribution!r}")
+
+    def mix(self) -> Dict[str, float]:
+        return {"read": self.read, "update": self.update,
+                "insert": self.insert, "scan": self.scan, "rmw": self.rmw}
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "LOAD": WorkloadSpec("LOAD", insert=1.0),
+    "A": WorkloadSpec("A", read=0.50, update=0.50),
+    "B": WorkloadSpec("B", read=0.95, update=0.05),
+    "C": WorkloadSpec("C", read=1.00),
+    "D": WorkloadSpec("D", read=0.95, update=0.05, distribution="latest"),
+    "E": WorkloadSpec("E", scan=0.95, insert=0.05),
+    # Standard YCSB-F, included beyond the paper for completeness.
+    "F": WorkloadSpec("F", read=0.50, rmw=0.50),
+}
+
+
+def workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name.upper()]
+    except KeyError:
+        raise ConfigError(f"unknown workload {name!r}") from None

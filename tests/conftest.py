@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.dm import Cluster, ClusterConfig
+
+
+@pytest.fixture
+def cluster():
+    """A default 3-CN / 3-MN cluster with a modest memory budget."""
+    return Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
+
+
+@pytest.fixture
+def single_mn_cluster():
+    return Cluster(ClusterConfig(num_mns=1, num_cns=1,
+                                 mn_capacity_bytes=64 << 20))
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,84 @@
+"""Unit tests for binary-comparable key codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.art.keys import (
+    check_prefix_free,
+    common_prefix_len,
+    decode_str,
+    decode_u64,
+    encode_bytes_terminated,
+    encode_str,
+    encode_u64,
+)
+from repro.errors import KeyCodecError
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_u64_roundtrip(value):
+    assert decode_u64(encode_u64(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_u64_order_preserving(a, b):
+    assert (a < b) == (encode_u64(a) < encode_u64(b))
+
+
+def test_u64_rejects_out_of_range():
+    with pytest.raises(KeyCodecError):
+        encode_u64(-1)
+    with pytest.raises(KeyCodecError):
+        encode_u64(1 << 64)
+    with pytest.raises(KeyCodecError):
+        decode_u64(b"short")
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127),
+               min_size=1, max_size=40))
+def test_str_roundtrip(text):
+    assert decode_str(encode_str(text)) == text
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127),
+               min_size=1, max_size=40),
+       st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127),
+               min_size=1, max_size=40))
+def test_str_encoding_prefix_free(a, b):
+    ka, kb = encode_str(a), encode_str(b)
+    if a != b:
+        assert not ka.startswith(kb) or len(ka) == len(kb)
+        check_prefix_free([ka, kb])
+
+
+def test_str_rejects_nul():
+    with pytest.raises(KeyCodecError):
+        encode_str("a\x00b")
+
+
+def test_rejects_empty_and_oversized():
+    with pytest.raises(KeyCodecError):
+        encode_bytes_terminated(b"")
+    with pytest.raises(KeyCodecError):
+        encode_bytes_terminated(b"x" * 300)
+
+
+def test_decode_str_requires_terminator():
+    with pytest.raises(KeyCodecError):
+        decode_str(b"abc")
+
+
+@given(st.binary(min_size=0, max_size=20), st.binary(min_size=0, max_size=20))
+def test_common_prefix_len_properties(a, b):
+    n = common_prefix_len(a, b)
+    assert a[:n] == b[:n]
+    if n < min(len(a), len(b)):
+        assert a[n] != b[n]
+
+
+def test_check_prefix_free_detects_violation():
+    with pytest.raises(KeyCodecError):
+        check_prefix_free([b"ab", b"abc"])
+    check_prefix_free([b"ab", b"ac", b"b"])  # no exception

@@ -1,0 +1,201 @@
+"""Unit tests for the Fig-3 byte layouts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.art.layout import (
+    HEADER_SIZE,
+    NODE4,
+    NODE16,
+    NODE48,
+    NODE256,
+    STATUS_IDLE,
+    STATUS_INVALID,
+    STATUS_LOCKED,
+    HashEntry,
+    Header,
+    Slot,
+    decode_leaf,
+    decode_node,
+    encode_leaf,
+    encode_node,
+    leaf_size_for,
+    leaf_status_word,
+    leaf_units_for,
+    next_node_type,
+    node_size,
+    smallest_type_for,
+)
+from repro.errors import ReproError
+
+
+def test_node_sizes_match_paper_range():
+    # The paper quotes ART inner nodes at 40-2056 bytes.
+    assert node_size(NODE4) == 40
+    assert node_size(NODE16) == 136
+    assert node_size(NODE48) == 392
+    assert node_size(NODE256) == 2056
+
+
+def test_next_node_type_chain():
+    assert next_node_type(NODE4) == NODE16
+    assert next_node_type(NODE48) == NODE256
+    with pytest.raises(ReproError):
+        next_node_type(NODE256)
+
+
+def test_smallest_type_for():
+    assert smallest_type_for(1) == NODE4
+    assert smallest_type_for(4) == NODE4
+    assert smallest_type_for(5) == NODE16
+    assert smallest_type_for(48) == NODE48
+    assert smallest_type_for(49) == NODE256
+    assert smallest_type_for(256) == NODE256
+    with pytest.raises(ReproError):
+        smallest_type_for(257)
+
+
+@given(st.integers(0, 2), st.sampled_from([NODE4, NODE16, NODE48, NODE256]),
+       st.integers(0, 255), st.integers(0, (1 << 42) - 1),
+       st.integers(0, 256))
+def test_header_roundtrip(status, node_type, depth, phash, count):
+    h = Header(status, node_type, depth, phash, count)
+    assert Header.unpack(h.pack()) == h
+
+
+@given(st.integers(0, (1 << 48) - 1), st.integers(0, 255),
+       st.integers(0, 63), st.booleans(), st.booleans())
+def test_slot_roundtrip(addr, partial, size_class, is_leaf, occupied):
+    s = Slot(addr, partial, size_class, is_leaf, occupied)
+    assert Slot.unpack(s.pack()) == s
+
+
+@given(st.integers(0, (1 << 48) - 1), st.integers(0, (1 << 12) - 1),
+       st.integers(0, 7), st.booleans())
+def test_hash_entry_roundtrip(addr, fp2, node_type, occupied):
+    e = HashEntry(addr, fp2, node_type, occupied)
+    assert HashEntry.unpack(e.pack()) == e
+
+
+def test_slot_helpers():
+    leaf = Slot(100, 1, 2, True, True)
+    assert leaf.leaf_size() == 128
+    with pytest.raises(ReproError):
+        leaf.child_node_size()
+    inner = Slot(100, 1, NODE16, False, True)
+    assert inner.child_node_size() == 136
+    with pytest.raises(ReproError):
+        inner.leaf_size()
+
+
+def test_encode_decode_node_roundtrip():
+    header = Header(STATUS_IDLE, NODE16, 3, 12345, 2)
+    slots = [None] * 16
+    slots[0] = Slot(0x1000, ord("a"), 2, True, True)
+    slots[5] = Slot(0x2000, ord("b"), NODE4, False, True)
+    blob = encode_node(header, slots)
+    assert len(blob) == node_size(NODE16)
+    view = decode_node(blob)
+    assert view.header == header
+    assert view.find_child(ord("a")).addr == 0x1000
+    assert view.find_child(ord("b")).addr == 0x2000
+    assert view.find_child(ord("c")) is None
+    assert len(view.occupied_slots()) == 2
+    assert view.occupied_count() == 2
+    assert view.find_index_by_addr(0x2000) == 5
+    assert view.find_index_by_addr(0x9999) is None
+
+
+def test_node256_direct_indexing():
+    header = Header(STATUS_IDLE, NODE256, 1, 7, 1)
+    slots = [None] * 256
+    slots[200] = Slot(0x3000, 200, 1, True, True)
+    view = decode_node(encode_node(header, slots))
+    assert view.find_child(200).addr == 0x3000
+    assert view.find_child(201) is None
+    with pytest.raises(ReproError):
+        view.first_free_index()
+
+
+def test_first_free_index_small_node():
+    header = Header(STATUS_IDLE, NODE4, 1, 7, 2)
+    slots = [Slot(1, 0, 1, True, True), None,
+             Slot(2, 1, 1, True, True), None]
+    view = decode_node(encode_node(header, slots))
+    assert view.first_free_index() == 1
+
+
+def test_encode_node_capacity_checked():
+    header = Header(STATUS_IDLE, NODE4, 1, 7, 0)
+    with pytest.raises(ReproError):
+        encode_node(header, [None] * 5)
+
+
+def test_decode_node_rejects_garbage():
+    with pytest.raises(ReproError):
+        decode_node(bytes(8))  # node type 0
+    header = Header(STATUS_IDLE, NODE16, 0, 0, 0)
+    blob = encode_node(header, [None] * 16)
+    with pytest.raises(ReproError):
+        decode_node(blob[:40])  # short read
+
+
+@given(st.binary(min_size=1, max_size=60), st.binary(min_size=0, max_size=200))
+def test_leaf_roundtrip(key, value):
+    blob = encode_leaf(key, value)
+    assert len(blob) % 64 == 0
+    assert len(blob) == leaf_size_for(len(key), len(value))
+    view = decode_leaf(blob)
+    assert view.checksum_ok
+    assert view.key == key
+    assert view.value == value
+    assert view.status == STATUS_IDLE
+
+
+def test_leaf_overprovisioned_units():
+    blob = encode_leaf(b"k", b"v", units=4)
+    view = decode_leaf(blob)
+    assert view.units == 4 and len(blob) == 256
+    with pytest.raises(ReproError):
+        encode_leaf(b"k", b"v" * 300, units=1)
+
+
+def test_leaf_torn_read_detected():
+    blob = bytearray(encode_leaf(b"key1", b"value1"))
+    blob[20] ^= 0xFF  # corrupt a payload byte
+    view = decode_leaf(bytes(blob))
+    assert not view.checksum_ok
+
+
+def test_leaf_status_change_detected_by_word():
+    idle = leaf_status_word(STATUS_IDLE, 2, 4, 6)
+    locked = leaf_status_word(STATUS_LOCKED, 2, 4, 6)
+    invalid = leaf_status_word(STATUS_INVALID, 2, 4, 6)
+    assert len({idle, locked, invalid}) == 3
+    blob = encode_leaf(b"key1", b"value1", units=2)
+    assert int.from_bytes(blob[:8], "little") == leaf_status_word(
+        STATUS_IDLE, 2, 4, 6)
+
+
+def test_leaf_units_limits():
+    assert leaf_units_for(8, 64) == 2  # 16 + 8 + 64 = 88 -> 128 B
+    with pytest.raises(ReproError):
+        leaf_units_for(100, 5000)
+
+
+def test_decode_leaf_short_raises():
+    with pytest.raises(ReproError):
+        decode_leaf(bytes(4))
+
+
+def test_decode_leaf_truncated_payload_flagged():
+    blob = bytearray(encode_leaf(b"abcd", b"efgh"))
+    blob[2:4] = (5000).to_bytes(2, "little")  # absurd key_len
+    view = decode_leaf(bytes(blob))
+    assert not view.checksum_ok
+
+
+def test_header_size_is_8_bytes():
+    assert HEADER_SIZE == 8
+    assert len(encode_node(Header(0, NODE4, 0, 0, 0), [None] * 4)) == 40

@@ -1,0 +1,158 @@
+"""Property-based and unit tests for the local reference ART."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.art import LocalART, encode_str, encode_u64
+from repro.errors import KeyCodecError
+
+# Strategy: prefix-free key sets via fixed-width or terminated keys.
+u64_keys = st.lists(st.integers(0, (1 << 64) - 1), min_size=0, max_size=200,
+                    unique=True)
+str_keys = st.lists(
+    st.text(alphabet="abcdefg@.", min_size=1, max_size=12),
+    min_size=0, max_size=150, unique=True)
+
+
+@given(u64_keys)
+@settings(max_examples=50, deadline=None)
+def test_model_equivalence_u64(values):
+    tree = LocalART()
+    model = {}
+    for v in values:
+        key = encode_u64(v)
+        tree.insert(key, str(v).encode())
+        model[key] = str(v).encode()
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    for key, value in model.items():
+        assert tree.search(key) == value
+    assert list(tree.items()) == sorted(model.items())
+
+
+@given(str_keys)
+@settings(max_examples=50, deadline=None)
+def test_model_equivalence_strings(texts):
+    tree = LocalART()
+    model = {}
+    for t in texts:
+        key = encode_str(t)
+        tree.insert(key, t.encode())
+        model[key] = t.encode()
+    tree.check_invariants()
+    for key, value in model.items():
+        assert tree.search(key) == value
+    assert list(tree.items()) == sorted(model.items())
+
+
+@given(u64_keys, st.data())
+@settings(max_examples=30, deadline=None)
+def test_mixed_ops_against_model(values, data):
+    tree = LocalART()
+    model = {}
+    for v in values:
+        key = encode_u64(v)
+        op = data.draw(st.sampled_from(["insert", "delete", "search"]))
+        if op == "insert":
+            assert tree.insert(key, b"v") == (key not in model)
+            model[key] = b"v"
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            expected = model.get(key)
+            assert tree.search(key) == expected
+    assert dict(tree.items()) == model
+
+
+@given(u64_keys, st.integers(0, (1 << 64) - 1),
+       st.integers(0, (1 << 64) - 1))
+@settings(max_examples=40, deadline=None)
+def test_scan_matches_sorted_model(values, a, b):
+    lo_v, hi_v = min(a, b), max(a, b)
+    tree = LocalART()
+    model = {}
+    for v in values:
+        key = encode_u64(v)
+        tree.insert(key, b"x")
+        model[key] = b"x"
+    lo, hi = encode_u64(lo_v), encode_u64(hi_v)
+    got = [k for k, _ in tree.scan(lo, hi)]
+    expected = sorted(k for k in model if lo <= k <= hi)
+    assert got == expected
+
+
+def test_scan_count_limits():
+    tree = LocalART()
+    for i in range(100):
+        tree.insert(encode_u64(i * 7), b"v")
+    res = tree.scan_count(encode_u64(0), 10)
+    assert len(res) == 10
+    assert res[0][0] == encode_u64(0)
+    assert [k for k, _ in res] == [encode_u64(i * 7) for i in range(10)]
+
+
+def test_insert_overwrite_returns_false():
+    tree = LocalART()
+    assert tree.insert(b"ab", b"1")
+    assert not tree.insert(b"ab", b"2")
+    assert tree.search(b"ab") == b"2"
+    assert len(tree) == 1
+
+
+def test_delete_absent_returns_false():
+    tree = LocalART()
+    tree.insert(b"abc", b"1")
+    assert not tree.delete(b"abd")
+    assert not tree.delete(b"ab\x01xyz")
+    assert tree.delete(b"abc")
+    assert not tree.delete(b"abc")
+
+
+def test_contains():
+    tree = LocalART()
+    tree.insert(b"xy", b"1")
+    assert b"xy" in tree
+    assert b"xz" not in tree
+
+
+def test_census_counts():
+    tree = LocalART()
+    rng = random.Random(5)
+    for _ in range(2000):
+        tree.insert(encode_u64(rng.getrandbits(64)), b"v")
+    census = tree.census()
+    assert census.leaves == len(tree)
+    assert census.inner_nodes >= 1
+    assert sum(census.inner_by_type.values()) == census.inner_nodes
+    assert census.inner_bytes > 0
+
+
+def test_inner_prefixes_enumerates_all():
+    tree = LocalART()
+    for t in ("LYRICS", "LYRA", "LYRE", "LAMBDA"):
+        tree.insert(encode_str(t), b"v")
+    prefixes = set(tree.inner_prefixes())
+    assert b"" in prefixes  # root
+    assert any(p.startswith(b"LYR") for p in prefixes)
+    assert len(prefixes) == tree.census().inner_nodes
+
+
+def test_path_compression_no_single_child_chains():
+    tree = LocalART()
+    tree.insert(encode_str("LYRICS"), b"1")
+    tree.insert(encode_str("LYRE"), b"2")
+    # Root plus one inner at the LYR split point: exactly 2 inner nodes.
+    assert tree.census().inner_nodes == 2
+    tree.check_invariants()
+
+
+def test_rejects_bad_keys():
+    tree = LocalART()
+    with pytest.raises(KeyCodecError):
+        tree.insert(b"", b"v")
+    with pytest.raises(KeyCodecError):
+        tree.insert(b"x" * 300, b"v")

@@ -1,0 +1,59 @@
+"""Coverage tests for the figure-generation code at miniature scale.
+
+These do NOT validate the paper's shapes (the benchmark suite does, at
+its default scale); they validate that the figure pipelines run, return
+well-formed rows and render cleanly.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_fingerprint_bits,
+    ablation_hotness,
+    fig4_ycsb,
+    fig5_scalability,
+    fig6_memory,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+)
+
+TINY = dict(num_keys=1_200)
+
+
+@pytest.mark.slow
+def test_fig4_pipeline_tiny():
+    result = fig4_ycsb("u64", ops=240, workers=6,
+                       systems=("ART", "Sphinx"), **TINY)
+    assert len(result.rows) == 2 * 6
+    for row in result.rows:
+        assert row["throughput_mops"] > 0
+    text = render_fig4(result)
+    assert "Fig 4" in text and "LOAD" in text
+    assert result.speedups("C").keys() == {"ART"}
+
+
+@pytest.mark.slow
+def test_fig5_pipeline_tiny():
+    result = fig5_scalability("u64", ops=240, systems=("Sphinx",),
+                              worker_counts=(6, 12), **TINY)
+    assert len(result.rows) == 2
+    assert result.peak_throughput("Sphinx") > 0
+    assert result.latency_at_peak("Sphinx") > 0
+    assert "Fig 5" in render_fig5(result)
+
+
+@pytest.mark.slow
+def test_fig6_pipeline_tiny():
+    result = fig6_memory(num_keys=1_500, datasets=("u64",))
+    assert len(result.rows) == 3
+    assert result.total("SMART", "u64") > result.total("ART", "u64")
+    text = render_fig6(result)
+    assert "vs ART" in text
+
+
+def test_fast_ablations_rows():
+    rows = ablation_hotness(num_keys=0)
+    assert {r["policy"] for r in rows} == {"second-chance", "random"}
+    fp_rows = ablation_fingerprint_bits()
+    assert [r["fp_bits"] for r in fp_rows] == [4, 6, 8, 10, 12, 16]

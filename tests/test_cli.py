@@ -1,0 +1,40 @@
+"""Tests for the benchmark CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import cli
+
+
+def test_help_exits_zero():
+    proc = subprocess.run([sys.executable, "-m", "repro.bench.cli", "-h"],
+                          capture_output=True, text=True)
+    assert proc.returncode == 0
+    assert "fig4" in proc.stdout and "ablations" in proc.stdout
+
+
+def test_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        cli.main(["fig9"])
+
+
+@pytest.mark.slow
+def test_fig6_cli_tiny(capsys):
+    assert cli.main(["fig6", "--keys", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 6" in out
+    assert "vs ART" in out
+
+
+@pytest.mark.slow
+def test_fig4_cli_tiny(capsys):
+    assert cli.main(["fig4", "--dataset", "u64", "--keys", "1200",
+                     "--ops", "300", "--workers", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 4" in out and "Sphinx" in out
+
+
+def test_rows_table_empty():
+    assert cli._rows_table([]) == "(no rows)"

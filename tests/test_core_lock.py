@@ -1,0 +1,80 @@
+"""Unit tests for node-grained header locks."""
+
+import pytest
+
+from repro.art.layout import (
+    NODE4,
+    STATUS_IDLE,
+    STATUS_INVALID,
+    STATUS_LOCKED,
+    Header,
+)
+from repro.core.lock import (
+    idle_header,
+    invalid_header,
+    invalidate_op,
+    locked_header,
+    try_lock_node,
+    unlock_op,
+)
+from repro.dm.memory import addr_offset
+from repro.util.bits import u64_from_bytes
+
+
+@pytest.fixture
+def node(single_mn_cluster):
+    cluster = single_mn_cluster
+    header = Header(STATUS_IDLE, NODE4, 3, 12345, 2)
+    addr = cluster.alloc(0, 40, "inner")
+    cluster.memories[0].write_u64(addr_offset(addr), header.pack())
+    return cluster, addr, header
+
+
+def test_header_state_helpers():
+    h = Header(STATUS_IDLE, NODE4, 1, 2, 3)
+    assert locked_header(h).status == STATUS_LOCKED
+    assert invalid_header(h).status == STATUS_INVALID
+    assert idle_header(locked_header(h)).status == STATUS_IDLE
+    # Everything but status is preserved.
+    assert locked_header(h).prefix_hash == 2
+
+
+def test_lock_unlock_cycle(node):
+    cluster, addr, header = node
+    ex = cluster.direct_executor()
+    assert ex.run(try_lock_node(addr, header))
+    stored = Header.unpack(cluster.memories[0].read_u64(addr_offset(addr)))
+    assert stored.status == STATUS_LOCKED
+
+    def release():
+        yield unlock_op(addr, header)
+    ex.run(release())
+    stored = Header.unpack(cluster.memories[0].read_u64(addr_offset(addr)))
+    assert stored.status == STATUS_IDLE
+
+
+def test_second_lock_fails(node):
+    cluster, addr, header = node
+    ex = cluster.direct_executor()
+    assert ex.run(try_lock_node(addr, header))
+    assert not ex.run(try_lock_node(addr, header))
+
+
+def test_lock_fails_on_invalid_node(node):
+    cluster, addr, header = node
+    cluster.memories[0].write_u64(addr_offset(addr),
+                                  invalid_header(header).pack())
+    ex = cluster.direct_executor()
+    assert not ex.run(try_lock_node(addr, header))
+
+
+def test_invalidate_op_writes_invalid(node):
+    cluster, addr, header = node
+    ex = cluster.direct_executor()
+
+    def retire():
+        yield invalidate_op(addr, header)
+    ex.run(retire())
+    stored = Header.unpack(cluster.memories[0].read_u64(addr_offset(addr)))
+    assert stored.status == STATUS_INVALID
+    assert stored.depth == header.depth

@@ -1,0 +1,237 @@
+"""Model-based correctness tests for the Sphinx index (both locate modes,
+filter-pressure and false-positive paths included)."""
+
+import random
+
+import pytest
+
+from repro.art import LocalART, encode_str, encode_u64
+from repro.core import SphinxConfig, SphinxIndex
+from repro.dm import Cluster, ClusterConfig
+
+
+def fresh(config=None):
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
+    index = SphinxIndex(cluster, config or SphinxConfig(
+        filter_budget_bytes=1 << 15, table_initial_depth=1))
+    return cluster, index
+
+
+def u64_keys(n, seed=0):
+    rng = random.Random(seed)
+    return [encode_u64(rng.getrandbits(64)) for _ in range(n)]
+
+
+def email_keys(n, seed=0):
+    rng = random.Random(seed)
+    out = set()
+    while len(out) < n:
+        out.add(f"user{rng.randrange(4 * n)}@d{rng.randrange(9)}.com")
+    return [encode_str(e) for e in out]
+
+
+@pytest.mark.parametrize("use_filter", [True, False])
+@pytest.mark.parametrize("keyset", ["u64", "email"])
+def test_insert_search_model(use_filter, keyset):
+    cluster, index = fresh(SphinxConfig(filter_budget_bytes=1 << 15,
+                                        use_filter=use_filter))
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    keys = u64_keys(1_500) if keyset == "u64" else email_keys(1_500)
+    model = {}
+    for i, key in enumerate(keys):
+        value = f"v{i}".encode()
+        assert ex.run(client.insert(key, value)) == (key not in model)
+        model[key] = value
+    for key, value in model.items():
+        assert ex.run(client.search(key)) == value
+    rng = random.Random(1)
+    for _ in range(300):
+        probe = encode_u64(rng.getrandbits(64)) if keyset == "u64" \
+            else encode_str(f"nouser{rng.randrange(10**6)}@x.org")
+        if probe not in model:
+            assert ex.run(client.search(probe)) is None
+
+
+def test_mixed_ops_against_local_art_model():
+    cluster, index = fresh()
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    oracle = LocalART()
+    rng = random.Random(7)
+    pool = u64_keys(400, seed=2)
+    for step in range(3_000):
+        key = rng.choice(pool)
+        op = rng.random()
+        if op < 0.4:
+            value = f"s{step}".encode()
+            remote_new = ex.run(client.insert(key, value))
+            local_new = oracle.insert(key, value)
+            assert remote_new == local_new, step
+        elif op < 0.6:
+            value = f"u{step}".encode()
+            assert ex.run(client.update(key, value)) == \
+                (oracle.search(key) is not None)
+            if key in oracle:
+                oracle.insert(key, value)
+        elif op < 0.8:
+            assert ex.run(client.delete(key)) == oracle.delete(key)
+        else:
+            assert ex.run(client.search(key)) == oracle.search(key)
+    # Full sweep at the end.
+    for key in pool:
+        assert ex.run(client.search(key)) == oracle.search(key)
+
+
+def test_scan_matches_model():
+    cluster, index = fresh()
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    oracle = LocalART()
+    for i, key in enumerate(email_keys(1_200, seed=3)):
+        ex.run(client.insert(key, f"v{i}".encode()))
+        oracle.insert(key, f"v{i}".encode())
+    rng = random.Random(4)
+    starts = [k for k, _ in oracle.items()][:: max(1, len(oracle) // 20)]
+    for start in starts:
+        count = rng.randint(1, 80)
+        got = ex.run(client.scan_count(start, count))
+        assert got == oracle.scan_count(start, count)
+    # Range scans too.
+    keys_sorted = [k for k, _ in oracle.items()]
+    lo, hi = keys_sorted[5], keys_sorted[400]
+    assert ex.run(client.scan_range(lo, hi)) == oracle.scan(lo, hi)
+
+
+def test_tiny_filter_under_eviction_pressure_still_correct():
+    config = SphinxConfig(filter_budget_bytes=64)  # pathologically small
+    cluster, index = fresh(config)
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    keys = email_keys(800, seed=5)
+    for i, key in enumerate(keys):
+        ex.run(client.insert(key, f"v{i}".encode()))
+    assert client.filter.evictions > 0
+    for i, key in enumerate(keys):
+        assert ex.run(client.search(key)) == f"v{i}".encode()
+
+
+def test_search_round_trips_three_in_common_case():
+    cluster, index = fresh(SphinxConfig(filter_budget_bytes=1 << 18))
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    keys = u64_keys(4_000, seed=6)
+    for i, key in enumerate(keys):
+        ex.run(client.insert(key, b"x" * 64))
+    from repro.dm.rdma import OpStats
+    stats = OpStats()
+    ex2 = cluster.direct_executor(stats)
+    for key in keys[:500]:
+        ex2.run(client.search(key))
+    per_op = stats.round_trips / 500
+    assert per_op < 3.5, per_op  # paper: 3 RTTs in most cases
+
+
+def test_second_cn_filter_heals_through_traversal():
+    """A CN that never inserted anything starts with an empty filter; the
+    freshness rule must populate it as it searches."""
+    cluster, index = fresh()
+    writer = index.client(0)
+    reader = index.client(1)
+    ex = cluster.direct_executor()
+    keys = email_keys(600, seed=8)
+    for i, key in enumerate(keys):
+        ex.run(writer.insert(key, f"v{i}".encode()))
+    assert reader.filter.count == 0
+    for i, key in enumerate(keys):
+        assert ex.run(reader.search(key)) == f"v{i}".encode()
+    assert reader.filter.count > 0
+    assert reader.metrics.stale_filter_fills > 0
+    # Second pass is now cheaper (filter warm): count round trips.
+    from repro.dm.rdma import OpStats
+    s1 = OpStats()
+    ex1 = cluster.direct_executor(s1)
+    for key in keys[:200]:
+        ex1.run(reader.search(key))
+    assert s1.round_trips / 200 < 4.0
+
+
+def test_values_of_various_sizes_roundtrip():
+    cluster, index = fresh()
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    rng = random.Random(11)
+    model = {}
+    for i in range(200):
+        key = encode_u64(rng.getrandbits(64))
+        value = bytes(rng.randrange(256) for _ in range(rng.choice(
+            [0, 1, 8, 64, 200, 1000])))
+        ex.run(client.insert(key, value))
+        model[key] = value
+    for key, value in model.items():
+        assert ex.run(client.search(key)) == value
+
+
+def test_update_grows_value_out_of_place():
+    cluster, index = fresh()
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    key = encode_u64(42)
+    ex.run(client.insert(key, b"small"))
+    big = b"B" * 500  # exceeds the original leaf's units
+    assert ex.run(client.update(key, big))
+    assert ex.run(client.search(key)) == big
+    # And back down, in place.
+    assert ex.run(client.update(key, b"tiny"))
+    assert ex.run(client.search(key)) == b"tiny"
+
+
+def test_update_absent_returns_false():
+    cluster, index = fresh()
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    ex.run(client.insert(encode_u64(1), b"v"))
+    assert not ex.run(client.update(encode_u64(2), b"w"))
+
+
+def test_delete_then_reinsert():
+    cluster, index = fresh()
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    keys = u64_keys(300, seed=12)
+    for key in keys:
+        ex.run(client.insert(key, b"1"))
+    for key in keys:
+        assert ex.run(client.delete(key))
+        assert not ex.run(client.delete(key))
+    for key in keys:
+        assert ex.run(client.search(key)) is None
+    for key in keys:
+        assert ex.run(client.insert(key, b"2"))
+        assert ex.run(client.search(key)) == b"2"
+
+
+def test_inht_bytes_small_relative_to_tree():
+    cluster, index = fresh()
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    for i, key in enumerate(u64_keys(5_000, seed=13)):
+        ex.run(client.insert(key, b"v" * 64))
+    by_cat = cluster.mn_bytes_by_category()
+    tree_bytes = by_cat["inner"] + by_cat["leaf"]
+    # Hash table is small (paper: 3.3-4.9%); directory preallocation
+    # dominates at this scale, so allow a loose bound.
+    assert index.inht_bytes() < 0.5 * tree_bytes
+
+
+def test_cn_cache_budget_respected():
+    config = SphinxConfig(filter_budget_bytes=1 << 14)
+    cluster, index = fresh(config)
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    for i, key in enumerate(u64_keys(2_000, seed=14)):
+        ex.run(client.insert(key, b"v"))
+    assert client.filter.size_bytes() <= config.filter_budget_bytes
+    # Directory caches stay a small add-on (paper: 2-5% of the filter).
+    assert client.inht.directory_cache_bytes() < \
+        0.25 * config.filter_budget_bytes

@@ -1,0 +1,90 @@
+"""Unit tests for cluster assembly, placement and the network model."""
+
+import pytest
+
+from repro.dm import Cluster, ClusterConfig, NetworkConfig, NodePlacement
+from repro.dm.memory import addr_mn
+from repro.errors import ConfigError
+
+
+def test_default_cluster_shape(cluster):
+    assert len(cluster.memories) == 3
+    assert len(cluster.mn_nics) == 3
+    assert len(cluster.cn_nics) == 3
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        Cluster(ClusterConfig(num_mns=0))
+    with pytest.raises(ConfigError):
+        Cluster(ClusterConfig(num_cns=0))
+    with pytest.raises(ConfigError):
+        Cluster(ClusterConfig(mn_capacity_bytes=100))
+
+
+def test_alloc_routes_to_requested_mn(cluster):
+    addr = cluster.alloc(2, 64, "x")
+    assert addr_mn(addr) == 2
+    assert cluster.memories[2].allocated_by_category["x"] == 64
+
+
+def test_alloc_for_prefix_deterministic(cluster):
+    a = cluster.alloc_for_prefix(b"LYR", 64)
+    b = cluster.alloc_for_prefix(b"LYR", 64)
+    assert addr_mn(a) == addr_mn(b)
+    assert addr_mn(a) == cluster.placement.mn_for_prefix(b"LYR")
+
+
+def test_free_returns_bytes(cluster):
+    addr = cluster.alloc(1, 128, "y")
+    cluster.free(addr, 128, "y")
+    assert cluster.memories[1].allocated_by_category["y"] == 0
+
+
+def test_mn_bytes_by_category_sums_all_mns(cluster):
+    cluster.alloc(0, 10, "z")
+    cluster.alloc(1, 20, "z")
+    assert cluster.mn_bytes_by_category()["z"] == 30
+    assert cluster.total_mn_bytes() >= 30
+
+
+def test_sim_executor_validates_cn(cluster):
+    with pytest.raises(ConfigError):
+        cluster.sim_executor(99)
+
+
+def test_placement_spreads_over_mns():
+    placement = NodePlacement([0, 1, 2])
+    owners = {placement.mn_for_prefix(f"p{i}".encode()) for i in range(500)}
+    assert owners == {0, 1, 2}
+    leaf_owners = {placement.mn_for_leaf(f"k{i}".encode())
+                   for i in range(500)}
+    assert leaf_owners == {0, 1, 2}
+
+
+def test_placement_prefix_and_leaf_differ():
+    placement = NodePlacement([0, 1, 2])
+    differs = sum(
+        1 for i in range(200)
+        if placement.mn_for_prefix(f"k{i}".encode())
+        != placement.mn_for_leaf(f"k{i}".encode()))
+    assert differs > 0
+
+
+def test_network_unloaded_rtt_near_two_microseconds():
+    net = NetworkConfig()
+    rtt = net.unloaded_rtt_ns(0, 8)
+    assert 1_000 < rtt < 3_000  # the paper quotes ~2 us
+
+
+def test_network_msg_service_scales_with_bytes():
+    net = NetworkConfig()
+    small = net.msg_service_ns("mn", 8)
+    large = net.msg_service_ns("mn", 2056)
+    assert large > small + 100  # fat Node-256 reads cost real NIC time
+
+
+def test_reset_nic_stats(cluster):
+    cluster.cn_nics[0].messages = 5
+    cluster.reset_nic_stats()
+    assert cluster.cn_nics[0].messages == 0

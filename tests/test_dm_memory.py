@@ -1,0 +1,126 @@
+"""Unit tests for MN memory: addressing, allocation, atomic ops."""
+
+import pytest
+
+from repro.dm.memory import (
+    NULL_ADDR,
+    Memory,
+    addr_mn,
+    addr_offset,
+    format_addr,
+    make_addr,
+)
+from repro.errors import BadAddress, OutOfMemory
+
+
+def test_addr_pack_roundtrip():
+    addr = make_addr(5, 0x12345)
+    assert addr_mn(addr) == 5
+    assert addr_offset(addr) == 0x12345
+
+
+def test_addr_null_is_zero():
+    assert make_addr(0, 0) == NULL_ADDR
+
+
+def test_addr_bounds_checked():
+    with pytest.raises(BadAddress):
+        make_addr(256, 0)
+    with pytest.raises(BadAddress):
+        make_addr(0, 1 << 40)
+    with pytest.raises(BadAddress):
+        make_addr(-1, 0)
+
+
+def test_format_addr():
+    assert format_addr(NULL_ADDR) == "NULL"
+    assert format_addr(make_addr(2, 0x40)) == "mn2+0x40"
+
+
+def test_alloc_reserves_null_page():
+    mem = Memory(0, 1 << 16)
+    assert mem.alloc(8) >= 64
+
+
+def test_alloc_free_reuses_block():
+    mem = Memory(0, 1 << 16)
+    a = mem.alloc(128, "x")
+    mem.write(a, b"junk" + bytes(124))
+    mem.free(a, 128, "x")
+    b = mem.alloc(128, "x")
+    assert b == a
+    assert mem.read(b, 4) == bytes(4)  # zeroed on reuse
+
+
+def test_alloc_category_accounting():
+    mem = Memory(0, 1 << 16)
+    mem.alloc(100, "leaf")
+    mem.alloc(50, "inner")
+    a = mem.alloc(30, "leaf")
+    mem.free(a, 30, "leaf")
+    assert mem.allocated_by_category["leaf"] == 100
+    assert mem.allocated_by_category["inner"] == 50
+    assert mem.allocated_bytes() == 150
+    assert mem.footprint_bytes() >= 150 + 64
+
+
+def test_out_of_memory():
+    mem = Memory(0, 1 << 10)
+    with pytest.raises(OutOfMemory):
+        mem.alloc(1 << 11)
+
+
+def test_alloc_rejects_nonpositive():
+    mem = Memory(0, 1 << 10)
+    with pytest.raises(ValueError):
+        mem.alloc(0)
+
+
+def test_read_write_roundtrip():
+    mem = Memory(0, 1 << 12)
+    off = mem.alloc(64)
+    mem.write(off, b"hello world")
+    assert mem.read(off, 11) == b"hello world"
+
+
+def test_bounds_checks():
+    mem = Memory(0, 1 << 12)
+    with pytest.raises(BadAddress):
+        mem.read(0, 8)  # reserved NULL page
+    with pytest.raises(BadAddress):
+        mem.read(1 << 12, 8)
+    with pytest.raises(BadAddress):
+        mem.write((1 << 12) - 4, b"too long")
+
+
+def test_u64_roundtrip():
+    mem = Memory(0, 1 << 12)
+    off = mem.alloc(8)
+    mem.write_u64(off, 0xDEADBEEFCAFEBABE)
+    assert mem.read_u64(off) == 0xDEADBEEFCAFEBABE
+
+
+def test_cas_success_and_failure():
+    mem = Memory(0, 1 << 12)
+    off = mem.alloc(8)
+    mem.write_u64(off, 10)
+    ok, old = mem.cas_u64(off, 10, 20)
+    assert ok and old == 10
+    assert mem.read_u64(off) == 20
+    ok, old = mem.cas_u64(off, 10, 30)
+    assert not ok and old == 20
+    assert mem.read_u64(off) == 20
+
+
+def test_faa_wraps_and_returns_old():
+    mem = Memory(0, 1 << 12)
+    off = mem.alloc(8)
+    mem.write_u64(off, (1 << 64) - 1)
+    old = mem.faa_u64(off, 2)
+    assert old == (1 << 64) - 1
+    assert mem.read_u64(off) == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Memory(0, 64)

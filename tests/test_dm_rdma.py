@@ -1,0 +1,181 @@
+"""Unit tests for RDMA verbs and executors (timing + semantics)."""
+
+import pytest
+
+from repro.dm import (
+    Batch,
+    CasOp,
+    Cluster,
+    ClusterConfig,
+    FaaOp,
+    LocalCompute,
+    NetworkConfig,
+    OpStats,
+    ReadOp,
+    WriteOp,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def setup():
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=1 << 20))
+    addr = cluster.alloc(0, 64)
+    return cluster, addr
+
+
+def test_direct_read_write(setup):
+    cluster, addr = setup
+    ex = cluster.direct_executor()
+
+    def op():
+        yield WriteOp(addr, b"abc")
+        data = yield ReadOp(addr, 3)
+        return data
+
+    assert ex.run(op()) == b"abc"
+    assert ex.stats.round_trips == 2
+    assert ex.stats.bytes_written == 3
+    assert ex.stats.bytes_read == 3
+
+
+def test_direct_cas_faa(setup):
+    cluster, addr = setup
+    ex = cluster.direct_executor()
+
+    def op():
+        ok, old = yield CasOp(addr, 0, 41)
+        before = yield FaaOp(addr, 1)
+        value = yield ReadOp(addr, 8)
+        return ok, old, before, int.from_bytes(value, "little")
+
+    assert ex.run(op()) == (True, 0, 41, 42)
+
+
+def test_batch_counts_one_round_trip(setup):
+    cluster, addr = setup
+    ex = cluster.direct_executor()
+
+    def op():
+        results = yield Batch([WriteOp(addr, b"x"), ReadOp(addr, 1)])
+        return results
+
+    results = ex.run(op())
+    assert results[1] == b"x"
+    assert ex.stats.round_trips == 1
+    assert ex.stats.messages == 2
+    assert ex.stats.batches == 1
+
+
+def test_batch_rejects_nested():
+    with pytest.raises(SimulationError):
+        Batch([Batch([ReadOp(0, 1)])])
+    with pytest.raises(SimulationError):
+        Batch([LocalCompute(5)])
+
+
+def test_sim_executor_same_results_as_direct(setup):
+    cluster, addr = setup
+
+    def op():
+        yield WriteOp(addr, b"hello")
+        ok, _ = yield CasOp(addr, int.from_bytes(b"hello" + bytes(3),
+                                                 "little"), 7)
+        data = yield ReadOp(addr, 8)
+        return ok, data
+
+    sx = cluster.sim_executor(0)
+    p = cluster.engine.process(sx.run(op()))
+    ok, data = cluster.engine.run_until_complete(p)
+    assert ok and int.from_bytes(data, "little") == 7
+
+
+def test_sim_verb_latency_matches_model():
+    net = NetworkConfig()
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=1 << 20, network=net))
+    addr = cluster.alloc(0, 64)
+    sx = cluster.sim_executor(0)
+
+    def op():
+        yield ReadOp(addr, 8)
+
+    p = cluster.engine.process(sx.run(op()))
+    cluster.engine.run_until_complete(p)
+    assert cluster.engine.now == net.unloaded_rtt_ns(0, 8)
+
+
+def test_sim_batch_is_one_rtt_not_n():
+    net = NetworkConfig()
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=1 << 20, network=net))
+    addr = cluster.alloc(0, 256)
+    sx = cluster.sim_executor(0)
+
+    def op():
+        yield Batch([ReadOp(addr + i * 8, 8) for i in range(8)])
+
+    p = cluster.engine.process(sx.run(op()))
+    cluster.engine.run_until_complete(p)
+    one_rtt = net.unloaded_rtt_ns(0, 8)
+    # Batched verbs pipeline: total time is far below 8 sequential RTTs,
+    # but above a single verb (NIC serialization of 8 messages).
+    assert one_rtt < cluster.engine.now < 3 * one_rtt
+
+
+def test_sim_batch_same_mn_ordered(setup):
+    """Verbs in a batch to one MN execute in posted order (the insert
+    protocol of the RACE client depends on this)."""
+    cluster, addr = setup
+    sx = cluster.sim_executor(0)
+
+    def op():
+        results = yield Batch([
+            CasOp(addr, 0, 99),
+            ReadOp(addr, 8),
+        ])
+        return results
+
+    p = cluster.engine.process(sx.run(op()))
+    (ok, _), data = cluster.engine.run_until_complete(p)
+    assert ok
+    assert int.from_bytes(data, "little") == 99
+
+
+def test_local_compute_advances_clock_only(setup):
+    cluster, addr = setup
+    sx = cluster.sim_executor(0)
+
+    def op():
+        yield LocalCompute(12_345)
+
+    p = cluster.engine.process(sx.run(op()))
+    cluster.engine.run_until_complete(p)
+    assert cluster.engine.now == 12_345
+    assert sx.stats.round_trips == 0
+
+
+def test_nic_contention_creates_queueing():
+    net = NetworkConfig()
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=1 << 20, network=net))
+    addr = cluster.alloc(0, 8)
+    finish_times = []
+
+    def client():
+        sx = cluster.sim_executor(0)
+
+        def op():
+            yield ReadOp(addr, 8)
+        yield from sx.run(op())
+        finish_times.append(cluster.engine.now)
+
+    for _ in range(20):
+        cluster.engine.process(client())
+    cluster.engine.run()
+    # All clients share one CN NIC: completions must spread out.
+    assert len(set(finish_times)) == 20
+
+
+def test_op_stats_merge():
+    a = OpStats(reads=1, round_trips=2)
+    b = OpStats(reads=3, writes=1, round_trips=1)
+    a.merge(b)
+    assert a.reads == 4 and a.writes == 1 and a.round_trips == 3

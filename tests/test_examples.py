@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "search LYRICS" in proc.stdout
+    assert "round trips" in proc.stdout
+
+
+def test_email_directory_small():
+    proc = run_example("email_directory.py", "--users", "2000",
+                       "--ops", "300", "--workers", "12")
+    assert proc.returncode == 0, proc.stderr
+    assert "Sphinx" in proc.stdout and "ART" in proc.stdout
+
+
+def test_multi_client_coherence():
+    proc = run_example("multi_client_coherence.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "incorrect results  : 0" in proc.stdout
+
+
+def test_consistency_check():
+    proc = run_example("consistency_check.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "CLEAN" in proc.stdout
+
+
+@pytest.mark.slow
+def test_range_scan_analytics():
+    proc = run_example("range_scan_analytics.py", timeout=360)
+    assert proc.returncode == 0, proc.stderr
+    assert "identical results" in proc.stdout

@@ -1,0 +1,143 @@
+"""Failure injection: abandoned locks, corrupted memory, stuck buckets.
+
+The substrate has no crash recovery (the paper's systems rely on leases /
+external recovery, which is out of scope), so the properties asserted
+here are *containment*: failures surface as bounded retries or degraded
+paths, never as wrong answers or unbounded hangs, and lock-free readers
+keep working through abandoned writer locks.
+"""
+
+import pytest
+
+from repro.art import encode_str
+from repro.art.layout import (
+    NODE256,
+    STATUS_LOCKED,
+    Header,
+    decode_leaf,
+    decode_node,
+    leaf_status_word,
+    node_size,
+)
+from repro.core import SphinxConfig, SphinxIndex
+from repro.core.lock import locked_header
+from repro.dm import Cluster, ClusterConfig
+from repro.dm.memory import addr_mn, addr_offset
+from repro.errors import RetryLimitExceeded
+from repro.race.layout import GROUP_HEADER
+
+
+def read_node(cluster, addr, node_type):
+    memory = cluster.memories[addr_mn(addr)]
+    return decode_node(memory.read(addr_offset(addr), node_size(node_type)))
+
+
+def walk_to_leaf(cluster, index, key):
+    """(path of (addr, view), leaf_slot) for ``key`` via raw reads."""
+    addr, view = index.root_addr, read_node(cluster, index.root_addr,
+                                            NODE256)
+    path = [(addr, view)]
+    while True:
+        slot = view.find_child(key[view.header.depth])
+        assert slot is not None, "key must exist"
+        if slot.is_leaf:
+            return path, slot
+        addr, view = slot.addr, read_node(cluster, slot.addr,
+                                          slot.size_class)
+        path.append((addr, view))
+
+
+@pytest.fixture
+def loaded():
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
+    index = SphinxIndex(cluster, SphinxConfig(
+        filter_budget_bytes=1 << 14, max_retries=12, backoff_ns=500))
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    keys = [encode_str(f"node/{i:03d}") for i in range(40)]
+    for i, key in enumerate(keys):
+        ex.run(client.insert(key, f"v{i}".encode()))
+    return cluster, index, client, ex, keys
+
+
+def _abandon_lock_on_leaf_parent(cluster, index, key):
+    """Simulate a crashed writer: leave the leaf's parent Locked forever."""
+    path, _leaf_slot = walk_to_leaf(cluster, index, key)
+    node_addr, view = path[-1]
+    memory = cluster.memories[addr_mn(node_addr)]
+    memory.write_u64(addr_offset(node_addr),
+                     locked_header(view.header).pack())
+    return node_addr, view
+
+
+def test_readers_pass_through_abandoned_node_lock(loaded):
+    cluster, index, client, ex, keys = loaded
+    _abandon_lock_on_leaf_parent(cluster, index, keys[0])
+    # Reads are lock-free (paper Sec. III-C): they still succeed.
+    for i, key in enumerate(keys[:10]):
+        assert ex.run(client.search(key)) == f"v{i}".encode()
+
+
+def test_writers_bounded_by_retry_budget_on_abandoned_lock(loaded):
+    cluster, index, client, ex, keys = loaded
+    _node_addr, view = _abandon_lock_on_leaf_parent(cluster, index, keys[0])
+    # A key that must be installed *inside* the dead-locked node: same
+    # prefix as keys[0] up to the node's depth, fresh next byte.
+    depth = view.header.depth
+    sibling = keys[0][:depth] + b"Z" + b"x\x00"
+    with pytest.raises(RetryLimitExceeded):
+        ex.run(client.insert(sibling, b"new"))
+    # Unrelated writes elsewhere still work.
+    assert ex.run(client.insert(encode_str("other/abc"), b"x"))
+
+
+def test_update_bounded_on_abandoned_leaf_lock(loaded):
+    cluster, index, client, ex, keys = loaded
+    _path, leaf_slot = walk_to_leaf(cluster, index, keys[0])
+    leaf_mem = cluster.memories[addr_mn(leaf_slot.addr)]
+    leaf = decode_leaf(leaf_mem.read(addr_offset(leaf_slot.addr),
+                                     leaf_slot.size_class * 64))
+    assert leaf.key == keys[0]
+    leaf_mem.write_u64(addr_offset(leaf_slot.addr),
+                       leaf_status_word(STATUS_LOCKED, leaf.units,
+                                        len(leaf.key), len(leaf.value)))
+    with pytest.raises(RetryLimitExceeded):
+        ex.run(client.update(keys[0], b"nope"))
+    # Other keys are unaffected.
+    assert ex.run(client.update(keys[1], b"fine"))
+    assert ex.run(client.search(keys[1])) == b"fine"
+
+
+def test_search_degrades_when_inht_bucket_stuck(loaded):
+    cluster, index, client, ex, keys = loaded
+    # Jam the hash-table bucket of the *deepest* inner prefix on the
+    # key's path behind a fake (abandoned) segment-split lock.
+    path, _leaf_slot = walk_to_leaf(cluster, index, keys[0])
+    deepest_addr, deepest_view = path[-1]
+    prefix = keys[0][:deepest_view.header.depth]
+    race = client.inht._client_for(prefix)
+    location = race.cached_group_location(prefix)
+    assert location is not None  # warmed during the load
+    group_addr, _h, local_depth = location
+    memory = cluster.memories[addr_mn(group_addr)]
+    memory.write_u64(addr_offset(group_addr),
+                     GROUP_HEADER.pack(local_depth=local_depth, locked=1,
+                                       version=999))
+    # Searches fall back to root traversal and still answer correctly.
+    before = client.inht_fallbacks
+    assert ex.run(client.search(keys[0])) == b"v0"
+    assert client.inht_fallbacks > before
+
+
+def test_corrupted_leaf_is_detected_not_returned(loaded):
+    cluster, index, client, ex, keys = loaded
+    _path, leaf_slot = walk_to_leaf(cluster, index, keys[0])
+    leaf_mem = cluster.memories[addr_mn(leaf_slot.addr)]
+    offset = addr_offset(leaf_slot.addr) + 17  # a key/payload byte
+    corrupted = bytes([leaf_mem.read(offset, 1)[0] ^ 0xFF])
+    leaf_mem.write(offset, corrupted)
+    # The checksum turns silent corruption into a bounded, loud failure.
+    with pytest.raises(RetryLimitExceeded):
+        ex.run(client.search(keys[0]))
+    # Other keys unaffected.
+    assert ex.run(client.search(keys[1])) == b"v1"

@@ -1,0 +1,100 @@
+"""Unit + property tests for the cuckoo filter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FilterError
+from repro.filters import CuckooFilter
+
+
+def test_basic_insert_contains_delete():
+    f = CuckooFilter(100)
+    assert f.insert(b"hello")
+    assert f.contains(b"hello")
+    assert f.delete(b"hello")
+    assert not f.delete(b"hello")
+    assert f.count == 0
+
+
+@given(st.sets(st.binary(min_size=1, max_size=16), min_size=1, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_no_false_negatives(items):
+    f = CuckooFilter(2 * len(items) + 8)
+    inserted = [i for i in items if f.insert(i)]
+    assert len(inserted) == len(items)  # sized generously: all fit
+    for item in inserted:
+        assert f.contains(item)
+
+
+def test_false_positive_rate_below_one_percent():
+    # Paper Sec. III-B: >=10-bit fingerprints keep FP < 1 %.
+    f = CuckooFilter(20_000, fp_bits=12)
+    for i in range(18_000):
+        f.insert(f"member{i}".encode())
+    fps = sum(f.contains(f"outsider{i}".encode()) for i in range(50_000))
+    assert fps / 50_000 < 0.01
+    assert f.expected_fp_rate() < 0.01
+
+
+def test_fp_rate_grows_with_smaller_fingerprints():
+    small = CuckooFilter(5_000, fp_bits=4)
+    large = CuckooFilter(5_000, fp_bits=16)
+    for i in range(4_000):
+        small.insert(f"m{i}".encode())
+        large.insert(f"m{i}".encode())
+    probes = [f"x{i}".encode() for i in range(30_000)]
+    fp_small = sum(small.contains(p) for p in probes)
+    fp_large = sum(large.contains(p) for p in probes)
+    assert fp_small > fp_large
+
+
+def test_delete_only_removes_one_copy():
+    f = CuckooFilter(100)
+    f.insert(b"dup")
+    f.insert(b"dup")
+    assert f.delete(b"dup")
+    assert f.contains(b"dup")  # one copy remains
+    assert f.delete(b"dup")
+    assert not f.contains(b"dup")
+
+
+def test_insert_fails_when_overfull():
+    f = CuckooFilter(16, bucket_slots=2, max_kicks=16)
+    rng = random.Random(9)
+    failed = False
+    for i in range(10_000):
+        if not f.insert(f"k{i}-{rng.random()}".encode()):
+            failed = True
+            break
+    assert failed
+    assert f.load_factor() > 0.8  # failure only near saturation
+
+
+def test_load_factor_and_size():
+    f = CuckooFilter(1000, fp_bits=12, bucket_slots=4)
+    assert f.load_factor() == 0.0
+    for i in range(500):
+        f.insert(f"i{i}".encode())
+    assert 0 < f.load_factor() <= 1
+    assert f.size_bytes() == f.num_buckets * 4 * 12 // 8
+
+
+def test_validates_parameters():
+    with pytest.raises(FilterError):
+        CuckooFilter(0)
+    with pytest.raises(FilterError):
+        CuckooFilter(10, fp_bits=1)
+    with pytest.raises(FilterError):
+        CuckooFilter(10, fp_bits=40)
+
+
+def test_alt_index_is_involution():
+    f = CuckooFilter(1000)
+    for i in range(200):
+        item = f"item{i}".encode()
+        fp, i1, i2 = f._candidates(item)
+        assert f._alt_index(i2, fp) == i1
+        assert f._alt_index(i1, fp) == i2

@@ -1,0 +1,97 @@
+"""Unit tests for the succinct filter cache (hotness-bit second chance)."""
+
+import random
+
+import pytest
+
+from repro.errors import FilterError
+from repro.filters import SuccinctFilterCache
+
+
+def test_insert_contains_delete():
+    c = SuccinctFilterCache(4096)
+    c.insert(b"prefix")
+    assert c.contains(b"prefix")
+    assert c.delete(b"prefix")
+    assert not c.contains(b"prefix")
+
+
+def test_insert_is_idempotent():
+    c = SuccinctFilterCache(4096)
+    c.insert(b"p")
+    c.insert(b"p")
+    assert c.count == 1
+
+
+def test_insert_never_fails_under_pressure():
+    c = SuccinctFilterCache(256)  # tiny: forces constant eviction
+    for i in range(50_000):
+        c.insert(f"p{i}".encode())
+    assert c.evictions > 0
+    assert c.load_factor() <= 1.0
+
+
+def test_budget_respected():
+    for budget in (512, 4096, 1 << 16):
+        c = SuccinctFilterCache(budget)
+        assert c.size_bytes() <= budget
+
+
+def test_contains_sets_hotness_and_survives_pressure():
+    rng = random.Random(1)
+    c = SuccinctFilterCache(2048, rng=rng)
+    hot = [f"hot{i}".encode() for i in range(64)]
+    for h in hot:
+        c.insert(h)
+    retained_hot = retained_cold = 0
+    for round_no in range(6):
+        for h in hot:
+            c.contains(h)  # keep marking hot
+        for i in range(1_500):
+            c.insert(f"cold{round_no}-{i}".encode())
+    retained_hot = sum(c.contains(h) for h in hot)
+    cold_probe = [f"cold5-{i}".encode() for i in range(1_500)]
+    retained_cold = sum(c.contains(p) for p in cold_probe)
+    # Second-chance must clearly privilege the hot set.
+    assert retained_hot / len(hot) > retained_cold / len(cold_probe)
+    assert retained_hot > 0.7 * len(hot)
+
+
+def test_no_false_negatives_when_under_capacity():
+    c = SuccinctFilterCache(1 << 16)
+    items = [f"i{i}".encode() for i in range(2_000)]
+    for item in items:
+        c.insert(item)
+    assert c.evictions == 0
+    assert all(c.contains(i) for i in items)
+
+
+def test_false_positive_rate_under_one_percent():
+    c = SuccinctFilterCache(1 << 16, fp_bits=12)
+    for i in range(10_000):
+        c.insert(f"m{i}".encode())
+    fps = sum(c.contains(f"x{i}".encode()) for i in range(50_000))
+    assert fps / 50_000 < 0.01
+
+
+def test_stats_shape():
+    c = SuccinctFilterCache(4096)
+    c.insert(b"a")
+    c.contains(b"a")
+    c.contains(b"b")
+    s = c.stats()
+    assert s["hits"] == 1 and s["misses"] == 1
+    assert s["count"] == 1
+    assert s["size_bytes"] == c.size_bytes()
+
+
+def test_validates_parameters():
+    with pytest.raises(FilterError):
+        SuccinctFilterCache(4)
+    with pytest.raises(FilterError):
+        SuccinctFilterCache(1024, fp_bits=1)
+
+
+def test_delete_missing_returns_false():
+    c = SuccinctFilterCache(1024)
+    assert not c.delete(b"nope")

@@ -1,0 +1,117 @@
+"""Unit tests for FIFO servers and latency recording."""
+
+import pytest
+
+from repro.sim import Engine, FifoServer, LatencyRecorder
+
+
+def test_fifo_serializes_jobs():
+    engine = Engine()
+    server = FifoServer(engine, "s")
+    completions = []
+
+    def job(tag, service):
+        yield server.submit(service)
+        completions.append((tag, engine.now))
+
+    engine.process(job("a", 100))
+    engine.process(job("b", 100))
+    engine.run()
+    assert completions == [("a", 100), ("b", 200)]
+
+
+def test_fifo_capacity_parallelism():
+    engine = Engine()
+    server = FifoServer(engine, "s", capacity=2)
+    completions = []
+
+    def job(tag):
+        yield server.submit(100)
+        completions.append((tag, engine.now))
+
+    for tag in ("a", "b", "c"):
+        engine.process(job(tag))
+    engine.run()
+    assert completions == [("a", 100), ("b", 100), ("c", 200)]
+
+
+def test_arrive_delay_defers_service():
+    engine = Engine()
+    server = FifoServer(engine, "s")
+
+    def job():
+        yield server.submit(10, arrive_delay=500)
+        return engine.now
+
+    p = engine.process(job())
+    assert engine.run_until_complete(p) == 510
+
+
+def test_arrive_delay_does_not_break_busy_server():
+    engine = Engine()
+    server = FifoServer(engine, "s")
+
+    def early():
+        yield server.submit(1_000)
+        return engine.now
+
+    def late():
+        yield server.submit(10, arrive_delay=100)
+        return engine.now
+
+    p1 = engine.process(early())
+    p2 = engine.process(late())
+    engine.run()
+    assert p1.value == 1_000
+    assert p2.value == 1_010  # waited for the busy server
+
+
+def test_utilization_accounting():
+    engine = Engine()
+    server = FifoServer(engine, "s")
+
+    def job():
+        yield server.submit(400)
+        yield engine.timeout(600)
+
+    engine.run_until_complete(engine.process(job()))
+    assert engine.now == 1_000
+    assert server.utilization() == pytest.approx(0.4)
+    server.reset_stats()
+    assert server.busy_time == 0 and server.jobs == 0
+
+
+def test_invalid_service_times_rejected():
+    engine = Engine()
+    server = FifoServer(engine, "s")
+    with pytest.raises(ValueError):
+        server.submit(-1)
+    with pytest.raises(ValueError):
+        server.submit(1, arrive_delay=-1)
+    with pytest.raises(ValueError):
+        FifoServer(engine, "s", capacity=0)
+
+
+def test_latency_recorder_percentiles():
+    rec = LatencyRecorder()
+    for v in range(1, 101):
+        rec.record(v)
+    assert rec.count == 100
+    assert rec.mean() == pytest.approx(50.5)
+    assert rec.percentile(0) == 1
+    assert rec.percentile(100) == 100
+    assert 50 <= rec.percentile(50) <= 51
+    assert rec.percentile(99) >= 99
+
+
+def test_latency_recorder_empty():
+    rec = LatencyRecorder()
+    assert rec.mean() == 0.0
+    assert rec.percentile(50) == 0.0
+    assert rec.summary()["count"] == 0.0
+
+
+def test_latency_recorder_single_sample():
+    rec = LatencyRecorder()
+    rec.record(7)
+    assert rec.percentile(50) == 7.0

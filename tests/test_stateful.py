@@ -1,0 +1,70 @@
+"""Hypothesis stateful testing: the Sphinx index against a model.
+
+Hypothesis drives arbitrary interleavings of insert/update/delete/search/
+scan and shrinks any divergence from the oracle to a minimal op sequence.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.art import LocalART, encode_u64
+from repro.core import SphinxConfig, SphinxIndex
+from repro.dm import Cluster, ClusterConfig
+
+# A small key universe maximizes collisions/splits/type switches.
+KEYS = st.integers(min_value=0, max_value=400).map(
+    lambda v: encode_u64(v * 0x0101010101))
+VALUES = st.binary(min_size=0, max_size=90)
+
+
+class SphinxMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = Cluster(ClusterConfig(mn_capacity_bytes=32 << 20))
+        self.index = SphinxIndex(self.cluster, SphinxConfig(
+            filter_budget_bytes=2_048,  # tiny: eviction pressure included
+            table_initial_depth=1))
+        self.client = self.index.client(0)
+        self.executor = self.cluster.direct_executor()
+        self.oracle = LocalART()
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        got = self.executor.run(self.client.insert(key, value))
+        expected = self.oracle.insert(key, value)
+        assert got == expected
+
+    @rule(key=KEYS, value=VALUES)
+    def update(self, key, value):
+        got = self.executor.run(self.client.update(key, value))
+        expected = self.oracle.search(key) is not None
+        if expected:
+            self.oracle.insert(key, value)
+        assert got == expected
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        got = self.executor.run(self.client.delete(key))
+        assert got == self.oracle.delete(key)
+
+    @rule(key=KEYS)
+    def search(self, key):
+        assert self.executor.run(self.client.search(key)) == \
+            self.oracle.search(key)
+
+    @rule(key=KEYS, count=st.integers(min_value=1, max_value=20))
+    def scan(self, key, count):
+        got = self.executor.run(self.client.scan_count(key, count))
+        assert got == self.oracle.scan_count(key, count)
+
+    @invariant()
+    def leaf_accounting_matches_oracle(self):
+        live = sum(1 for _ in self.oracle.items())
+        leaf_bytes = self.cluster.mn_bytes_by_category().get("leaf", 0)
+        assert leaf_bytes >= live * 64  # every live key has a leaf
+
+
+SphinxStatefulTest = SphinxMachine.TestCase
+SphinxStatefulTest.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,87 @@
+"""Unit tests for bit-field packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import BitStruct, round_up, u64_from_bytes, u64_to_bytes
+
+
+def test_pack_unpack_roundtrip():
+    bs = BitStruct("t", [("a", 4), ("b", 12), ("c", 48)])
+    word = bs.pack(a=5, b=1000, c=0xDEADBEEF)
+    assert bs.unpack(word) == {"a": 5, "b": 1000, "c": 0xDEADBEEF}
+
+
+def test_pack_defaults_zero():
+    bs = BitStruct("t", [("a", 4), ("b", 4)])
+    assert bs.unpack(bs.pack(b=3)) == {"a": 0, "b": 3}
+
+
+def test_field_overflow_rejected():
+    bs = BitStruct("t", [("a", 4)])
+    with pytest.raises(ValueError):
+        bs.pack(a=16)
+    with pytest.raises(ValueError):
+        bs.pack(a=-1)
+
+
+def test_unknown_field_rejected():
+    bs = BitStruct("t", [("a", 4)])
+    with pytest.raises(ValueError):
+        bs.pack(z=1)
+
+
+def test_too_wide_struct_rejected():
+    with pytest.raises(ValueError):
+        BitStruct("t", [("a", 40), ("b", 40)])
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(ValueError):
+        BitStruct("t", [("a", 4), ("a", 4)])
+
+
+def test_zero_width_field_rejected():
+    with pytest.raises(ValueError):
+        BitStruct("t", [("a", 0)])
+
+
+def test_get_set_single_field():
+    bs = BitStruct("t", [("a", 8), ("b", 8)])
+    word = bs.pack(a=1, b=2)
+    word = bs.set(word, "a", 200)
+    assert bs.get(word, "a") == 200
+    assert bs.get(word, "b") == 2
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_u64_bytes_roundtrip(word):
+    assert u64_from_bytes(u64_to_bytes(word)) == word
+
+
+def test_u64_from_bytes_offset():
+    data = u64_to_bytes(1) + u64_to_bytes(2)
+    assert u64_from_bytes(data, 8) == 2
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=512))
+def test_round_up_properties(value, multiple):
+    r = round_up(value, multiple)
+    assert r >= value
+    assert r % multiple == 0
+    assert r - value < multiple
+
+
+def test_round_up_rejects_nonpositive_multiple():
+    with pytest.raises(ValueError):
+        round_up(5, 0)
+
+
+@given(st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=(1 << 12) - 1),
+       st.integers(min_value=0, max_value=(1 << 48) - 1))
+def test_bitstruct_roundtrip_property(a, b, c):
+    bs = BitStruct("t", [("a", 4), ("b", 12), ("c", 48)])
+    assert bs.unpack(bs.pack(a=a, b=b, c=c)) == {"a": a, "b": b, "c": c}

@@ -1,0 +1,30 @@
+"""Unit tests for the leaf checksum helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.checksum import CHECKSUM_BYTES, leaf_checksum, verify
+
+
+@given(st.binary(min_size=0, max_size=256))
+def test_checksum_roundtrip(payload):
+    assert verify(payload, leaf_checksum(payload))
+
+
+@given(st.binary(min_size=1, max_size=256), st.integers(0, 255))
+def test_single_byte_corruption_detected(payload, position):
+    position %= len(payload)
+    mutated = bytearray(payload)
+    mutated[position] ^= 0xFF
+    if bytes(mutated) != payload:
+        assert leaf_checksum(bytes(mutated)) != leaf_checksum(payload)
+
+
+def test_checksum_fits_four_bytes():
+    assert CHECKSUM_BYTES == 4
+    assert 0 <= leaf_checksum(b"anything") < (1 << 32)
+
+
+def test_verify_masks_to_32_bits():
+    c = leaf_checksum(b"x")
+    assert verify(b"x", c | (1 << 40))  # high bits ignored

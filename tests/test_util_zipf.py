@@ -1,0 +1,99 @@
+"""Unit tests for the YCSB request distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.util.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    zeta,
+    zipf_pmf,
+)
+
+
+def test_zeta_matches_direct_sum():
+    assert zeta(10, 0.99) == pytest.approx(
+        sum(1 / i ** 0.99 for i in range(1, 11)))
+
+
+def test_zipf_pmf_sums_to_one():
+    assert sum(zipf_pmf(100, 0.99)) == pytest.approx(1.0)
+
+
+def test_zipfian_in_range():
+    gen = ZipfianGenerator(1000, rng=random.Random(1))
+    for _ in range(10_000):
+        assert 0 <= gen.next() < 1000
+
+
+def test_zipfian_head_frequency_matches_theory():
+    n = 1000
+    gen = ZipfianGenerator(n, rng=random.Random(2))
+    samples = 100_000
+    zero = sum(1 for _ in range(samples) if gen.next() == 0)
+    expected = zipf_pmf(n, 0.99)[0]
+    assert zero / samples == pytest.approx(expected, rel=0.1)
+
+
+def test_zipfian_skew():
+    gen = ZipfianGenerator(10_000, rng=random.Random(3))
+    counts = {}
+    for _ in range(50_000):
+        v = gen.next()
+        counts[v] = counts.get(v, 0) + 1
+    top10 = sum(sorted(counts.values(), reverse=True)[:10])
+    assert top10 > 0.25 * 50_000  # heavy head
+
+
+def test_zipfian_validates_args():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=1.0)
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    gen = ScrambledZipfianGenerator(1000, rng=random.Random(4))
+    counts = {}
+    for _ in range(50_000):
+        v = gen.next()
+        counts[v] = counts.get(v, 0) + 1
+    hottest = sorted(counts, key=counts.get, reverse=True)[:10]
+    # Hot items should not all cluster at the low end of the keyspace.
+    assert max(hottest) > 100
+
+
+def test_uniform_generator_covers_range():
+    gen = UniformGenerator(50, random.Random(5))
+    seen = {gen.next() for _ in range(5_000)}
+    assert seen == set(range(50))
+
+
+def test_uniform_rejects_empty():
+    with pytest.raises(ValueError):
+        UniformGenerator(0, random.Random(0))
+
+
+def test_latest_favours_recent():
+    gen = LatestGenerator(10_000, rng=random.Random(6))
+    samples = [gen.next() for _ in range(20_000)]
+    assert all(0 <= s < 10_000 for s in samples)
+    recent = sum(1 for s in samples if s >= 9_000)
+    assert recent > 0.5 * len(samples)
+
+
+def test_latest_advance_shifts_head():
+    gen = LatestGenerator(100, rng=random.Random(7))
+    gen.advance(50)
+    assert gen.max_index == 149
+    samples = [gen.next() for _ in range(5_000)]
+    assert max(samples) == 149
+
+
+def test_latest_never_negative():
+    gen = LatestGenerator(2, rng=random.Random(8))
+    assert all(gen.next() >= 0 for _ in range(1_000))
