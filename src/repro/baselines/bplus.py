@@ -176,8 +176,8 @@ class BplusIndex:
         self.root_ptr_addr = cluster.alloc(0, 8, BPLUS_CATEGORY)
         root_addr = self._alloc_node()
         self._write_node_direct(root_addr, STATUS_IDLE, True, 0, [])
-        cluster.memories[0].write_u64(addr_offset(self.root_ptr_addr),
-                                      root_addr)
+        cluster.memories[0].write_u64(  # lint: disable=L001
+            addr_offset(self.root_ptr_addr), root_addr)
         self._clients: Dict[int, BplusClient] = {}
 
     # -- control-plane helpers -------------------------------------------
@@ -192,7 +192,8 @@ class BplusIndex:
                            version: int,
                            entries: List[Tuple[bytes, int]]) -> None:
         image = _encode_node(self.config, status, is_leaf, version, entries)
-        self.cluster.memories[addr_mn(addr)].write(addr_offset(addr), image)
+        self.cluster.memories[addr_mn(addr)].write(  # lint: disable=L001
+            addr_offset(addr), image)
 
     def client(self, cn_id: int) -> "BplusClient":
         if cn_id not in self._clients:
@@ -262,7 +263,8 @@ class BplusClient:
                 return result
             self.metrics["restarts"] += 1
             yield LocalCompute(self._backoff(attempt))
-        raise RetryLimitExceeded(f"bplus search({key!r})")
+        raise RetryLimitExceeded(f"bplus search({key!r})",
+                                 addr=self.index.root_ptr_addr)
 
     def _search_once(self, key: bytes):
         _addr, view = yield from self._read_root()
@@ -305,7 +307,8 @@ class BplusClient:
                 return result
             self.metrics["restarts"] += 1
             yield LocalCompute(self._backoff(attempt))
-        raise RetryLimitExceeded(f"bplus insert({key!r})")
+        raise RetryLimitExceeded(f"bplus insert({key!r})",
+                                 addr=self.index.root_ptr_addr)
 
     def update(self, key: bytes, value: bytes):
         """Op generator: overwrite; False when absent."""
@@ -320,7 +323,8 @@ class BplusClient:
                 return False
             yield from self.insert(key, value)  # upsert path overwrites
             return True
-        raise RetryLimitExceeded(f"bplus update({key!r})")
+        raise RetryLimitExceeded(f"bplus update({key!r})",
+                                 addr=self.index.root_ptr_addr)
 
     def _insert_once(self, key: bytes, value: bytes):
         """Top-down descent with preemptive splitting under lock coupling."""

@@ -13,6 +13,7 @@ from collections import OrderedDict
 from typing import Optional
 
 from ..art.layout import NodeView, node_size
+from ..errors import InvalidArgument
 
 
 class NodeCache:
@@ -20,7 +21,7 @@ class NodeCache:
 
     def __init__(self, budget_bytes: int):
         if budget_bytes < 0:
-            raise ValueError("budget must be >= 0")
+            raise InvalidArgument("budget must be >= 0")
         self.budget_bytes = budget_bytes
         self._items: "OrderedDict[int, tuple]" = OrderedDict()
         self.bytes = 0

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..errors import DataMissing
 from .harness import (
     DEFAULT_KEYS,
     DEFAULT_OPS,
@@ -43,7 +44,7 @@ class Fig4Result:
         for row in self.rows:
             if row["system"] == system and row["workload"] == workload:
                 return row["throughput_mops"]
-        raise KeyError((system, workload))
+        raise DataMissing((system, workload))
 
     def speedups(self, workload: str) -> Dict[str, float]:
         return ratio_summary({
@@ -164,7 +165,7 @@ class Fig6Result:
         for row in self.rows:
             if row["system"] == system and row["dataset"] == dataset:
                 return row["total"]
-        raise KeyError((system, dataset))
+        raise DataMissing((system, dataset))
 
 
 def fig6_memory(num_keys: int = DEFAULT_KEYS,

@@ -26,7 +26,7 @@ from ..art.layout import (
     leaf_units_for,
 )
 from ..dm.rdma import CasOp, LocalCompute, ReadOp, WriteOp
-from ..errors import RetryLimitExceeded
+from ..errors import InvalidArgument, RetryLimitExceeded
 
 LEAF_CATEGORY = "leaf"
 READ_RETRIES = 16
@@ -46,7 +46,7 @@ def read_leaf(addr: int, units: int):
         if view.checksum_ok or view.status == STATUS_INVALID:
             return view
         yield LocalCompute(RETRY_BACKOFF_NS * (attempt + 1))
-    raise RetryLimitExceeded(f"leaf at {addr:#x} kept failing checksum")
+    raise RetryLimitExceeded("leaf kept failing checksum", addr=addr)
 
 
 def write_new_leaf(addr: int, key: bytes, value: bytes,
@@ -59,7 +59,7 @@ def in_place_update(addr: int, view: LeafView, new_value: bytes):
     """The paper's checksum-based in-place update.  Returns True on
     success, False if the lock CAS lost (caller retries the operation)."""
     if leaf_units_for(len(view.key), len(new_value)) > view.units:
-        raise ValueError("value does not fit; caller must go out-of-place")
+        raise InvalidArgument("value does not fit; caller must go out-of-place")
     idle_word = leaf_status_word(STATUS_IDLE, view.units,
                                  len(view.key), len(view.value))
     locked_word = leaf_status_word(STATUS_LOCKED, view.units,

@@ -51,7 +51,7 @@ from ..art.layout import (
     smallest_type_for,
 )
 from ..dm.cluster import Cluster
-from ..dm.memory import addr_mn
+from ..dm.memory import addr_mn, format_addr
 from ..dm.rdma import Batch, CasOp, LocalCompute, ReadOp, WriteOp
 from ..errors import ReproError, RetryLimitExceeded
 from ..util.bits import u64_to_bytes
@@ -173,7 +173,8 @@ class RemoteArtTree:
                                         INNER_CATEGORY)
         header = Header(STATUS_IDLE, NODE256, 0, prefix_hash42(b""), 0)
         image = encode_node(header, [None] * NODE_CAPACITY[NODE256])
-        cluster.memories[addr_mn(addr)].write(addr_offset(addr), image)
+        cluster.memories[addr_mn(addr)].write(  # lint: disable=L001
+            addr_offset(addr), image)
         return addr
 
     # ------------------------------------------------------------------
@@ -298,7 +299,8 @@ class RemoteArtTree:
             self.metrics.op_restarts += 1
             yield LocalCompute(self._backoff_delay(attempt))
         raise RetryLimitExceeded(
-            f"{op_name}({ctx.key!r}) exceeded {self.max_retries} retries")
+            f"{op_name}({ctx.key!r}) exceeded {self.max_retries} retries",
+            addr=self.root_addr)
 
     # ------------------------------------------------------------------
     # Search
@@ -652,7 +654,12 @@ class RemoteArtTree:
         ok = yield from self._replace_slot(node_addr, view, slot, new_word)
         if not ok:
             # Roll back: release the old leaf and drop the new one.
-            yield CasOp(slot.addr, locked, idle)
+            unlocked, _ = yield CasOp(slot.addr, locked, idle)
+            if not unlocked:
+                # We hold this leaf's lock; nobody may touch the word.
+                raise ReproError(
+                    f"leaf unlock CAS failed while holding the lock at "
+                    f"{format_addr(slot.addr)}: index corruption")
             self._free_leaf(new_addr, units)
             return RETRY
         invalid = leaf_status_word(STATUS_INVALID, leaf.units, len(leaf.key),
@@ -1001,7 +1008,8 @@ class RemoteArtTree:
                         return True
                     cur_addr, cur, slot = found
                 raise RetryLimitExceeded(
-                    f"delete({key!r}) could not clear the leaf slot")
+                    f"delete({key!r}) could not clear the leaf slot",
+                    addr=victim_addr)
             child = yield from self._read_node(slot.addr, slot.size_class)
             if child is None:
                 return RETRY

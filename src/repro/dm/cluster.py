@@ -65,6 +65,32 @@ class Cluster:
         self.placement = NodePlacement(
             list(self.memories), vnodes=self.config.ring_vnodes,
             seed=self.config.placement_seed)
+        self.monitor = None        # optional DMSan AccessMonitor
+        self._client_seq = 0
+
+    # -- sanitizer ---------------------------------------------------------
+    def attach_monitor(self, monitor) -> None:
+        """Route every verb and allocator event through ``monitor``.
+
+        Executors created *after* this call carry the monitor; attach it
+        before building indexes so the monitor sees every allocation.
+        """
+        self.monitor = monitor
+        monitor.bind_clock(lambda: self.engine.now)
+        for memory in self.memories.values():
+            memory.tracker = monitor
+
+    def attach_sanitizer(self, config=None):
+        """Create a DMSan :class:`repro.san.AccessMonitor`, attach it, and
+        return it (convenience for tests and debugging sessions)."""
+        from ..san import AccessMonitor  # local import: san depends on dm
+        monitor = AccessMonitor(config)
+        self.attach_monitor(monitor)
+        return monitor
+
+    def _next_client_id(self, prefix: str) -> str:
+        self._client_seq += 1
+        return f"{prefix}#{self._client_seq}"
 
     # -- allocation ------------------------------------------------------
     def alloc(self, mn_id: int, size: int, category: str = "generic") -> int:
@@ -92,7 +118,10 @@ class Cluster:
 
     # -- executors ---------------------------------------------------------
     def direct_executor(self, stats: OpStats | None = None) -> DirectExecutor:
-        return DirectExecutor(self.memories, stats)
+        return DirectExecutor(self.memories, stats,
+                              monitor=self.monitor,
+                              client_id=self._next_client_id("direct"),
+                              clock=lambda: self.engine.now)
 
     def sim_executor(self, cn_id: int,
                      stats: OpStats | None = None) -> SimExecutor:
@@ -100,7 +129,9 @@ class Cluster:
             raise ConfigError(f"no such compute node {cn_id}")
         return SimExecutor(self.engine, self.memories,
                            self.cn_nics[cn_id], self.mn_nics,
-                           self.config.network, stats)
+                           self.config.network, stats,
+                           monitor=self.monitor,
+                           client_id=self._next_client_id(f"cn{cn_id}"))
 
     # -- accounting --------------------------------------------------------
     def mn_bytes_by_category(self) -> Dict[str, int]:

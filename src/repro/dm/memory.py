@@ -12,11 +12,13 @@ experiment (Fig 6) a real measurement rather than an estimate.
 
 from __future__ import annotations
 
+import bisect
 import struct
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
-from ..errors import BadAddress, OutOfMemory
+from ..errors import BadAddress, DoubleFree, InvalidArgument, OutOfMemory, \
+    UseAfterFree
 
 ADDR_BITS = 48
 OFFSET_BITS = 40
@@ -63,7 +65,8 @@ class Memory:
 
     def __init__(self, mn_id: int, capacity: int):
         if capacity <= 64:
-            raise ValueError("capacity must exceed the 64-byte reserved page")
+            raise InvalidArgument(
+                "capacity must exceed the 64-byte reserved page")
         self.mn_id = mn_id
         self.capacity = capacity
         # The backing store grows on demand: `capacity` is the logical
@@ -75,34 +78,110 @@ class Memory:
         self.allocated_by_category: Dict[str, int] = defaultdict(int)
         self.alloc_calls = 0
         self.free_calls = 0
+        # Freed-region registry: every block currently sitting on a free
+        # list, kept sorted by offset for overlap queries.  `free()` of a
+        # range overlapping these (or a retired block) is a double free;
+        # data-plane verbs landing in these are use-after-free.
+        self._freed_offsets: List[int] = []       # sorted
+        self._freed_sizes: Dict[int, int] = {}    # offset -> size
+        self._retired: Dict[int, int] = {}        # offset -> size
+        self.uaf_policy = "flag"                  # "ignore" | "flag" | "raise"
+        self.uaf_hits = 0
+        self.uaf_samples: List[str] = []
+        # Optional allocation observer (e.g. a DMSan AccessMonitor): an
+        # object with on_alloc/on_free/on_retire(mn_id, offset, size,
+        # category) methods.
+        self.tracker = None
+
+    # -- freed-region registry -----------------------------------------
+    def _freed_overlap(self, offset: int, size: int
+                       ) -> Optional[Tuple[int, int]]:
+        """The first freed block overlapping [offset, offset+size), if any."""
+        if not self._freed_offsets:
+            return None
+        end = offset + size
+        idx = bisect.bisect_right(self._freed_offsets, offset) - 1
+        if idx >= 0:
+            f_off = self._freed_offsets[idx]
+            if f_off + self._freed_sizes[f_off] > offset:
+                return f_off, self._freed_sizes[f_off]
+        idx += 1
+        if idx < len(self._freed_offsets) and self._freed_offsets[idx] < end:
+            f_off = self._freed_offsets[idx]
+            return f_off, self._freed_sizes[f_off]
+        return None
+
+    def _register_freed(self, offset: int, size: int) -> None:
+        bisect.insort(self._freed_offsets, offset)
+        self._freed_sizes[offset] = size
+
+    def _unregister_freed(self, offset: int) -> None:
+        idx = bisect.bisect_left(self._freed_offsets, offset)
+        del self._freed_offsets[idx]
+        del self._freed_sizes[offset]
+
+    def _check_reclaimable(self, offset: int, size: int, verb: str) -> None:
+        hit = self._freed_overlap(offset, size)
+        if hit is not None:
+            raise DoubleFree(
+                f"mn{self.mn_id}: {verb}({offset:#x}, {size}) overlaps "
+                f"already-freed block ({hit[0]:#x}, {hit[1]})")
+        retired = self._retired.get(offset)
+        if retired is not None:
+            raise DoubleFree(
+                f"mn{self.mn_id}: {verb}({offset:#x}, {size}) targets "
+                f"retired block of {retired} B")
+
+    def _flag_uaf(self, offset: int, size: int, kind: str) -> None:
+        freed = self._freed_overlap(offset, size)
+        if freed is None or self.uaf_policy == "ignore":
+            return
+        message = (f"mn{self.mn_id}: {kind} of ({offset:#x}, {size}) touches "
+                   f"freed block ({freed[0]:#x}, {freed[1]})")
+        if self.uaf_policy == "raise":
+            raise UseAfterFree(message)
+        self.uaf_hits += 1
+        if len(self.uaf_samples) < 16:
+            self.uaf_samples.append(message)
 
     # -- allocation ----------------------------------------------------
     def alloc(self, size: int, category: str = "generic") -> int:
         """Allocate ``size`` bytes; returns the within-node offset."""
         if size <= 0:
-            raise ValueError("allocation size must be positive")
+            raise InvalidArgument("allocation size must be positive")
         self.alloc_calls += 1
         self.allocated_by_category[category] += size
         free_list = self._free_lists.get(size)
         if free_list:
             offset = free_list.pop()
+            self._unregister_freed(offset)
             self._data[offset:offset + size] = bytes(size)
-            return offset
-        if self._bump + size > self.capacity:
-            raise OutOfMemory(
-                f"mn{self.mn_id}: cannot allocate {size} B "
-                f"({self.capacity - self._bump} B left)"
-            )
-        offset = self._bump
-        self._bump += size
+        else:
+            if self._bump + size > self.capacity:
+                raise OutOfMemory(
+                    f"mn{self.mn_id}: cannot allocate {size} B "
+                    f"({self.capacity - self._bump} B left)"
+                )
+            offset = self._bump
+            self._bump += size
+        if self.tracker is not None:
+            self.tracker.on_alloc(self.mn_id, offset, size, category)
         return offset
 
     def free(self, offset: int, size: int, category: str = "generic") -> None:
-        """Return a block to the per-size free list."""
+        """Return a block to the per-size free list.
+
+        Freeing a range that overlaps an already freed (or retired) block
+        raises :class:`repro.errors.DoubleFree`.
+        """
         self._check_range(offset, size)
+        self._check_reclaimable(offset, size, "free")
         self.free_calls += 1
         self.allocated_by_category[category] -= size
         self._free_lists[size].append(offset)
+        self._register_freed(offset, size)
+        if self.tracker is not None:
+            self.tracker.on_free(self.mn_id, offset, size, category)
 
     def retire(self, offset: int, size: int, category: str = "generic") -> None:
         """Account a block as freed *without* recycling its memory.
@@ -115,8 +194,12 @@ class Memory:
         while the per-category accounting still reflects live data.
         """
         self._check_range(offset, size)
+        self._check_reclaimable(offset, size, "retire")
         self.free_calls += 1
         self.allocated_by_category[category] -= size
+        self._retired[offset] = size
+        if self.tracker is not None:
+            self.tracker.on_retire(self.mn_id, offset, size, category)
 
     def allocated_bytes(self) -> int:
         """Net live bytes across all categories."""
@@ -140,18 +223,22 @@ class Memory:
 
     def read(self, offset: int, size: int) -> bytes:
         self._check_range(offset, size)
+        self._flag_uaf(offset, size, "read")
         return bytes(self._data[offset:offset + size])
 
     def write(self, offset: int, data: bytes) -> None:
         self._check_range(offset, len(data))
+        self._flag_uaf(offset, len(data), "write")
         self._data[offset:offset + len(data)] = data
 
     def read_u64(self, offset: int) -> int:
         self._check_range(offset, 8)
+        self._flag_uaf(offset, 8, "read_u64")
         return _U64.unpack_from(self._data, offset)[0]
 
     def write_u64(self, offset: int, value: int) -> None:
         self._check_range(offset, 8)
+        self._flag_uaf(offset, 8, "write_u64")
         _U64.pack_into(self._data, offset, value)
 
     def cas_u64(self, offset: int, expected: int, desired: int):

@@ -22,10 +22,11 @@ resumes when the last completion arrives - one round trip of latency, but
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Generator, Mapping, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Generator, Mapping, Optional, Sequence, \
+    Tuple, Union
 
-from ..errors import SimulationError
+from ..errors import RetryLimitExceeded, SimulationError
 from .memory import Memory, addr_mn, addr_offset
 from .network import Nic
 
@@ -79,6 +80,10 @@ class Batch:
 
     def __init__(self, ops: Sequence[Verb]):
         object.__setattr__(self, "ops", tuple(ops))
+        if not self.ops:
+            # An empty doorbell would silently charge a full round trip
+            # for zero messages - always a caller bug.
+            raise SimulationError("empty batch: doorbell needs >= 1 verb")
         for op in self.ops:
             if isinstance(op, (Batch, LocalCompute)):
                 raise SimulationError("batches must contain plain verbs")
@@ -172,9 +177,25 @@ class DirectExecutor:
     """
 
     def __init__(self, memories: Mapping[int, Memory],
-                 stats: OpStats | None = None):
+                 stats: OpStats | None = None, *,
+                 monitor=None, client_id: str = "direct",
+                 clock: Optional[Callable[[], int]] = None):
         self._memories = memories
         self.stats = stats if stats is not None else OpStats()
+        self.monitor = monitor
+        self.client_id = client_id
+        self._clock = clock if clock is not None else (lambda: 0)
+
+    def _apply(self, verb: Verb) -> Any:
+        monitor = self.monitor
+        if monitor is None:
+            return apply_verb(self._memories, verb)
+        now = self._clock()
+        token = monitor.on_issue(self.client_id, verb, now)
+        result = apply_verb(self._memories, verb)
+        monitor.on_apply(token, now, result)
+        monitor.on_complete(token, now)
+        return result
 
     def execute(self, op: OpOrBatch) -> Any:
         if isinstance(op, LocalCompute):
@@ -186,11 +207,11 @@ class DirectExecutor:
             results = []
             for verb in op.ops:
                 self.stats.count_verb(verb)
-                results.append(apply_verb(self._memories, verb))
+                results.append(self._apply(verb))
             return results
         self.stats.round_trips += 1
         self.stats.count_verb(op)
-        return apply_verb(self._memories, op)
+        return self._apply(op)
 
     def run(self, gen: OpGenerator) -> Any:
         """Drive ``gen`` to completion; returns its return value."""
@@ -200,6 +221,9 @@ class DirectExecutor:
                 op = gen.send(result)
             except StopIteration as stop:
                 return stop.value
+            except RetryLimitExceeded as exc:
+                exc.attach_context(self.client_id, replace(self.stats))
+                raise
             result = self.execute(op)
 
 
@@ -212,13 +236,16 @@ class SimExecutor:
 
     def __init__(self, engine, memories: Mapping[int, Memory],
                  cn_nic: Nic, mn_nics: Mapping[int, Nic],
-                 config, stats: OpStats | None = None):
+                 config, stats: OpStats | None = None, *,
+                 monitor=None, client_id: str = "sim"):
         self.engine = engine
         self._memories = memories
         self._cn_nic = cn_nic
         self._mn_nics = mn_nics
         self._config = config
         self.stats = stats if stats is not None else OpStats()
+        self.monitor = monitor
+        self.client_id = client_id
 
     # -- single verb ----------------------------------------------------
     def _verb(self, op: Verb):
@@ -228,6 +255,10 @@ class SimExecutor:
         req_bytes, resp_bytes = _verb_sizes(op)
         extra = cfg.atomic_extra_ns if isinstance(op, (CasOp, FaaOp)) else 0
         self.stats.count_verb(op)
+        monitor = self.monitor
+        token = None
+        if monitor is not None:
+            token = monitor.on_issue(self.client_id, op, self.engine.now)
 
         # Request through the CN NIC ...
         yield self._cn_nic.process(req_bytes)
@@ -236,10 +267,14 @@ class SimExecutor:
                              arrive_delay=cfg.prop_ns)
         # Side effect happens the instant the MN NIC executes the verb.
         result = apply_verb(self._memories, op)
+        if monitor is not None:
+            monitor.on_apply(token, self.engine.now, result)
         # Response: DRAM/DMA access, back through the MN NIC ...
         yield mn_nic.process(resp_bytes, arrive_delay=cfg.mem_access_ns)
         # ... across the wire, delivered by the CN NIC.
         yield self._cn_nic.process(resp_bytes, arrive_delay=cfg.prop_ns)
+        if monitor is not None:
+            monitor.on_complete(token, self.engine.now)
         return result
 
     def _perform(self, op: OpOrBatch):
@@ -267,4 +302,7 @@ class SimExecutor:
                 op = gen.send(result)
             except StopIteration as stop:
                 return stop.value
+            except RetryLimitExceeded as exc:
+                exc.attach_context(self.client_id, replace(self.stats))
+                raise
             result = yield from self._perform(op)

@@ -11,6 +11,20 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class InvalidArgument(ReproError, ValueError):
+    """A caller passed an out-of-range or malformed argument.
+
+    Also derives from :class:`ValueError` so existing callers (and tests)
+    that catch the builtin keep working.
+    """
+
+
+class DataMissing(ReproError, KeyError):
+    """A reporting/figure lookup referenced a (system, workload) pair that
+    was never measured.  Also derives from :class:`KeyError` for dict-like
+    call sites."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly or reached an
     inconsistent state (e.g. running a finished process)."""
@@ -31,6 +45,16 @@ class BadAddress(MemoryError_):
     """An RDMA verb referenced an address outside any registered region."""
 
 
+class DoubleFree(MemoryError_):
+    """``free``/``retire`` was called on a block that overlaps a block
+    already freed or retired (allocator misuse by a protocol)."""
+
+
+class UseAfterFree(MemoryError_):
+    """A verb touched a freed-and-not-yet-recycled region while the memory
+    node was configured with ``uaf_policy="raise"``."""
+
+
 class KeyCodecError(ReproError):
     """A key could not be encoded (e.g. contains the terminator byte)."""
 
@@ -49,7 +73,45 @@ class DuplicateKey(IndexError_):
 
 class RetryLimitExceeded(IndexError_):
     """An optimistic operation exceeded its retry budget (indicates either a
-    pathological conflict rate or an index-corruption bug)."""
+    pathological conflict rate or an index-corruption bug).
+
+    Carries enough context to correlate with sanitizer/fsck output: the
+    contended address (when the raise site knows it) and, attached by the
+    executor that drove the generator, the client id and an
+    :class:`repro.dm.rdma.OpStats` snapshot at the moment of failure.
+    """
+
+    def __init__(self, message: str, *, addr: "int | None" = None):
+        super().__init__(message)
+        self.message = message
+        self.addr = addr
+        self.client: "str | None" = None
+        self.stats = None  # OpStats snapshot, attached by the executor
+
+    def attach_context(self, client, stats) -> None:
+        """Called by the driving executor; first attachment wins (the
+        innermost executor is the one that actually ran the verbs)."""
+        if self.client is None:
+            self.client = client
+        if self.stats is None:
+            self.stats = stats
+
+    def __str__(self) -> str:
+        parts = [self.message]
+        if self.addr is not None:
+            try:  # runtime import: errors.py must stay dependency-free
+                from .dm.memory import format_addr
+                parts.append(f"addr={format_addr(self.addr)}")
+            except Exception:  # pragma: no cover - import cycle safety net
+                parts.append(f"addr={self.addr:#x}")
+        if self.client is not None:
+            parts.append(f"client={self.client}")
+        if self.stats is not None:
+            s = self.stats
+            parts.append(
+                f"stats[rt={s.round_trips} msg={s.messages} r={s.reads} "
+                f"w={s.writes} cas={s.cas} faa={s.faa}]")
+        return " ".join(parts)
 
 
 class FilterError(ReproError):
@@ -63,3 +125,8 @@ class HashTableError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or cluster configuration is invalid."""
+
+
+class SanViolation(ReproError):
+    """DMSan observed a concurrency-protocol violation and was configured
+    with ``on_violation="raise"``."""

@@ -163,7 +163,8 @@ class RaceClient:
                 yield from self._refresh_dir(h)
                 continue
             return group
-        raise RetryLimitExceeded("group read kept racing splits")
+        raise RetryLimitExceeded("group read kept racing splits",
+                                 addr=self._group_addr(cached.seg_addr, h))
 
     # -- public operations ---------------------------------------------
     def lookup(self, key: bytes):
@@ -195,11 +196,23 @@ class RaceClient:
             if fields["locked"] or fields["version"] != group.version:
                 # A split raced us; our entry may now be in the wrong
                 # segment.  Undo and retry through the fresh directory.
-                yield CasOp(slot_addr, entry.pack(), 0)
+                undone, _ = yield CasOp(slot_addr, entry.pack(), 0)
                 yield from self._refresh_dir(h)
+                if not undone:
+                    # The split migrated our entry to the sibling segment
+                    # before we could take it back: the insert is durably
+                    # installed there.  Retrying would plant a duplicate,
+                    # so find the entry's new home instead.
+                    group = yield from self._read_group(h)
+                    for new_slot, moved in group.matches(entry.fp2):
+                        if moved.pack() == entry.pack():
+                            return new_slot
+                    # A concurrent delete removed it in the window; the
+                    # retry loop reinstalls it.
                 continue
             return slot_addr
-        raise RetryLimitExceeded(f"insert of {key!r} exceeded retries")
+        raise RetryLimitExceeded(f"insert of {key!r} exceeded retries",
+                                 addr=self.info.dir_addr)
 
     def cas_entry(self, slot_addr: int, old: HashEntry, new: HashEntry):
         """Atomically replace an entry in place (node type switches)."""
@@ -219,7 +232,8 @@ class RaceClient:
             swapped, _ = yield CasOp(slot_addr, entry.pack(), 0)
             if swapped:
                 return True
-        raise RetryLimitExceeded(f"delete of {key!r} exceeded retries")
+        raise RetryLimitExceeded(f"delete of {key!r} exceeded retries",
+                                 addr=slot_addr)
 
     # -- piggybacked single-shot insert ------------------------------------
     def cached_group_location(self, key: bytes):
@@ -253,7 +267,13 @@ class RaceClient:
             return False
         fields = GROUP_HEADER.unpack(u64_from_bytes(header_bytes))
         if fields["locked"] or fields["version"] != group.version:
-            yield CasOp(slot_addr, entry.pack(), 0)
+            undone, _ = yield CasOp(slot_addr, entry.pack(), 0)
+            if not undone:
+                # The racing split migrated the entry to the sibling
+                # segment: it is durably installed, so reporting failure
+                # (and sending the caller to the full insert path) would
+                # plant a duplicate.
+                return True
             return False
         return True
 

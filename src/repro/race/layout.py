@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import InvalidArgument
 from ..util.bits import BitStruct
 from ..util.hashing import hash64
 
@@ -88,11 +89,11 @@ class TableParams:
 
     def __post_init__(self):
         if not 0 <= self.initial_depth <= self.max_depth:
-            raise ValueError("initial_depth out of range")
+            raise InvalidArgument("initial_depth out of range")
         if self.max_depth > MAX_DEPTH:
-            raise ValueError(f"max_depth may not exceed {MAX_DEPTH}")
+            raise InvalidArgument(f"max_depth may not exceed {MAX_DEPTH}")
         if self.groups_per_segment < 1 or self.slots_per_group < 1:
-            raise ValueError("bad table geometry")
+            raise InvalidArgument("bad table geometry")
 
     @property
     def group_size(self) -> int:

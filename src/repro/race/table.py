@@ -4,6 +4,7 @@ Building the table is a control-plane action (it happens when an index is
 created), so it writes simulated memory directly; all data-plane access
 afterwards goes through :class:`repro.race.client.RaceClient` generators.
 """
+# lint: disable-file=L001
 
 from __future__ import annotations
 

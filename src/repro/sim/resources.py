@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List
 
+from ..errors import InvalidArgument
 from .engine import Engine, Event
 
 
@@ -24,7 +25,7 @@ class FifoServer:
 
     def __init__(self, engine: Engine, name: str, capacity: int = 1):
         if capacity < 1:
-            raise ValueError("capacity must be >= 1")
+            raise InvalidArgument("capacity must be >= 1")
         self.engine = engine
         self.name = name
         self.capacity = capacity
@@ -42,9 +43,9 @@ class FifoServer:
         ``now + arrive_delay``.
         """
         if service_time < 0:
-            raise ValueError("service_time must be >= 0")
+            raise InvalidArgument("service_time must be >= 0")
         if arrive_delay < 0:
-            raise ValueError("arrive_delay must be >= 0")
+            raise InvalidArgument("arrive_delay must be >= 0")
         now = self.engine.now
         free_at = heapq.heappop(self._free_at)
         start = max(now + arrive_delay, free_at)

@@ -1,0 +1,216 @@
+"""Repo-invariant lint: static AST checks for the protocol idioms that
+keep this codebase honest.
+
+The simulator can only catch what a workload happens to execute; these
+rules catch the same classes of bug at rest:
+
+* **L001** - direct ``Memory`` data-plane access (``read``/``write``/
+  ``read_u64``/``write_u64``/``cas_u64``/``faa_u64`` on a memory object)
+  outside ``repro/dm/`` and ``repro/tools/``.  Protocol code must go
+  through verb generators so executors (and DMSan) see every access;
+  host-side control-plane exceptions carry an explicit pragma.
+* **L002** - a ``yield CasOp(...)`` whose result is discarded.  A CAS
+  that nobody checks is a lock/claim that may silently have failed.
+* **L003** - an empty ``Batch([])`` literal.  The runtime rejects empty
+  doorbells too (see :class:`repro.dm.rdma.Batch`); the lint catches the
+  obvious literal before anything runs.
+* **L004** - ``raise`` of a builtin exception type.  Library errors must
+  derive from :class:`repro.errors.ReproError` so callers can catch
+  library failures without masking programming errors.
+
+Suppressions: append ``# lint: disable=L001`` to the offending line, or
+put ``# lint: disable-file=L001`` in the first ten lines of a file.
+Run as ``python -m repro.tools.lint [paths...]``; exits non-zero when
+findings remain.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set
+
+_DATA_PLANE_METHODS = frozenset(
+    {"read", "write", "read_u64", "write_u64", "cas_u64", "faa_u64"})
+_MEMORY_NAME = re.compile(r"(^|_)(mem|memory|memories)($|_|\b)")
+_BUILTIN_EXCEPTIONS = frozenset({
+    "Exception", "ValueError", "KeyError", "TypeError", "RuntimeError",
+    "IndexError", "LookupError", "ArithmeticError", "OSError",
+    "AttributeError", "MemoryError",
+})
+_LINE_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
+_FILE_PRAGMA = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+#: Directories (relative to the package root) whose files own the
+#: data plane and may touch Memory directly.
+_L001_EXEMPT_PARTS = ("repro/dm/", "repro/tools/", "repro/san/")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _receiver_names(node: ast.expr) -> Set[str]:
+    """Identifier fragments appearing in an attribute call's receiver."""
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    return names
+
+
+def _looks_like_memory(node: ast.expr) -> bool:
+    return any(_MEMORY_NAME.search(name) for name in _receiver_names(node))
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, rel: str, source: str):
+        self.rel = rel
+        self.lines = source.splitlines()
+        self.findings: List[Finding] = []
+        self.file_disabled = self._file_pragmas()
+        normalized = rel.replace("\\", "/")
+        self.l001_exempt = any(part in normalized
+                               for part in _L001_EXEMPT_PARTS)
+
+    def _file_pragmas(self) -> Set[str]:
+        disabled: Set[str] = set()
+        for line in self.lines[:10]:
+            match = _FILE_PRAGMA.search(line)
+            if match:
+                disabled.update(
+                    r.strip() for r in match.group(1).split(","))
+        return disabled
+
+    def _suppressed(self, rule: str, lineno: int) -> bool:
+        if rule in self.file_disabled:
+            return True
+        if 1 <= lineno <= len(self.lines):
+            match = _LINE_PRAGMA.search(self.lines[lineno - 1])
+            if match and rule in {r.strip()
+                                  for r in match.group(1).split(",")}:
+                return True
+        return False
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if not self._suppressed(rule, node.lineno):
+            self.findings.append(
+                Finding(self.rel, node.lineno, rule, message))
+
+    # -- L001: data-plane bypass ---------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.l001_exempt and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _DATA_PLANE_METHODS \
+                and _looks_like_memory(node.func.value):
+            self._emit(
+                "L001", node,
+                f"direct Memory.{node.func.attr}() bypasses the executors "
+                f"(and DMSan); go through verb generators, or pragma a "
+                f"control-plane exception")
+        # L003: empty doorbell literal.
+        if isinstance(node.func, ast.Name) and node.func.id == "Batch" \
+                and len(node.args) == 1 and not node.keywords:
+            arg = node.args[0]
+            if isinstance(arg, (ast.List, ast.Tuple)) and not arg.elts:
+                self._emit("L003", node,
+                           "empty Batch literal: a doorbell needs >= 1 verb")
+        self.generic_visit(node)
+
+    # -- L002: discarded CAS result ------------------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Yield) and value.value is not None:
+            yielded = value.value
+            if isinstance(yielded, ast.Call) \
+                    and isinstance(yielded.func, ast.Name) \
+                    and yielded.func.id == "CasOp":
+                self._emit(
+                    "L002", node,
+                    "CAS result discarded: the swapped flag must be "
+                    "consumed (an unchecked CAS is a lock that may have "
+                    "silently failed)")
+        self.generic_visit(node)
+
+    # -- L004: builtin exceptions --------------------------------------
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BUILTIN_EXCEPTIONS:
+            self._emit(
+                "L004", node,
+                f"raise of builtin {name}: library errors must derive "
+                f"from ReproError (see repro.errors)")
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, root: Path | None = None) -> List[Finding]:
+    rel = str(path.relative_to(root)) if root else str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(rel, exc.lineno or 0, "L000",
+                        f"syntax error: {exc.msg}")]
+    linter = _Linter(path, rel, source)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Finding]:
+    findings: List[Finding] = []
+    for base in paths:
+        base = base.resolve()
+        if base.is_dir():
+            for file in sorted(base.rglob("*.py")):
+                findings.extend(lint_file(file, base.parent))
+        else:
+            findings.extend(lint_file(base, base.parent))
+    return findings
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package (what CI lints)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    targets = [Path(a) for a in args] if args else [default_target()]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for target in missing:
+            print(f"lint: error: no such file or directory: {target}",
+                  file=sys.stderr)
+        return 2
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding.render())
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if findings:
+        breakdown = ", ".join(f"{r}={n}" for r, n in sorted(counts.items()))
+        print(f"lint: {len(findings)} finding(s) ({breakdown})")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, Iterable, Tuple
 
+from ..errors import InvalidArgument
+
 _U64 = struct.Struct("<Q")
 
 U64_MASK = (1 << 64) - 1
@@ -35,7 +37,7 @@ class BitField:
     def set(self, word: int, value: int) -> int:
         limit = 1 << self.width
         if not 0 <= value < limit:
-            raise ValueError(
+            raise InvalidArgument(
                 f"value {value} does not fit in field {self.name!r} "
                 f"({self.width} bits)"
             )
@@ -55,13 +57,13 @@ class BitStruct:
         shift = 0
         for fname, width in fields:
             if width <= 0:
-                raise ValueError(f"field {fname!r} must have positive width")
+                raise InvalidArgument(f"field {fname!r} must have positive width")
             if fname in self.fields:
-                raise ValueError(f"duplicate field {fname!r}")
+                raise InvalidArgument(f"duplicate field {fname!r}")
             self.fields[fname] = BitField(fname, shift, width)
             shift += width
         if shift > 64:
-            raise ValueError(f"{name}: fields occupy {shift} bits > 64")
+            raise InvalidArgument(f"{name}: fields occupy {shift} bits > 64")
         self.total_bits = shift
 
     def pack(self, **values: int) -> int:
@@ -71,14 +73,14 @@ class BitStruct:
             try:
                 field = self.fields[fname]
             except KeyError:
-                raise ValueError(f"{self.name} has no field {fname!r}") from None
+                raise InvalidArgument(f"{self.name} has no field {fname!r}") from None
             word = field.set(word, value)
         return word
 
     def unpack(self, word: int) -> Dict[str, int]:
         """Explode a word into a dict of all field values."""
         if not 0 <= word <= U64_MASK:
-            raise ValueError("word out of 64-bit range")
+            raise InvalidArgument("word out of 64-bit range")
         return {fname: f.get(word) for fname, f in self.fields.items()}
 
     def get(self, word: int, fname: str) -> int:
@@ -101,5 +103,5 @@ def u64_from_bytes(data: bytes, offset: int = 0) -> int:
 def round_up(value: int, multiple: int) -> int:
     """Round ``value`` up to the next multiple of ``multiple``."""
     if multiple <= 0:
-        raise ValueError("multiple must be positive")
+        raise InvalidArgument("multiple must be positive")
     return ((value + multiple - 1) // multiple) * multiple

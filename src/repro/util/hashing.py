@@ -19,6 +19,8 @@ import bisect
 import zlib
 from typing import List, Sequence, Tuple
 
+from ..errors import InvalidArgument
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -56,7 +58,7 @@ def fingerprint(data: bytes, bits: int, seed: int = 0x0F1E2D3C) -> int:
     filter and the inner-node hash table, so the value is remapped to 1.
     """
     if not 1 <= bits <= 62:
-        raise ValueError("fingerprint width must be in [1, 62]")
+        raise InvalidArgument("fingerprint width must be in [1, 62]")
     fp = hash64(data, seed) & ((1 << bits) - 1)
     return fp if fp != 0 else 1
 
@@ -75,9 +77,9 @@ class ConsistentHashRing:
 
     def __init__(self, members: Sequence[int], vnodes: int = 64, seed: int = 7):
         if not members:
-            raise ValueError("ring needs at least one member")
+            raise InvalidArgument("ring needs at least one member")
         if vnodes <= 0:
-            raise ValueError("vnodes must be positive")
+            raise InvalidArgument("vnodes must be positive")
         self._members = list(members)
         self._seed = seed
         points: List[Tuple[int, int]] = []

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 import random
 
+from ..errors import InvalidArgument
 from ..util.hashing import hash64
 
 ZIPFIAN_CONSTANT = 0.99
@@ -32,7 +33,7 @@ class UniformGenerator:
 
     def __init__(self, n: int, rng: random.Random):
         if n <= 0:
-            raise ValueError("n must be positive")
+            raise InvalidArgument("n must be positive")
         self.n = n
         self._rng = rng
 
@@ -46,9 +47,9 @@ class ZipfianGenerator:
     def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT,
                  rng: random.Random | None = None):
         if n <= 0:
-            raise ValueError("n must be positive")
+            raise InvalidArgument("n must be positive")
         if not 0 < theta < 1:
-            raise ValueError("theta must be in (0, 1)")
+            raise InvalidArgument("theta must be in (0, 1)")
         self.n = n
         self.theta = theta
         self._rng = rng if rng is not None else random.Random(0)
@@ -100,7 +101,7 @@ class LatestGenerator:
     def __init__(self, initial_count: int, theta: float = ZIPFIAN_CONSTANT,
                  rng: random.Random | None = None):
         if initial_count <= 0:
-            raise ValueError("initial_count must be positive")
+            raise InvalidArgument("initial_count must be positive")
         self._rng = rng if rng is not None else random.Random(0)
         self.theta = theta
         self.max_index = initial_count - 1

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..art.keys import encode_str, encode_u64
+from ..errors import InvalidArgument
 
 _FIRST = [
     "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
@@ -111,4 +112,4 @@ def make_dataset(name: str, n: int, seed: int = 1,
         return make_u64_dataset(n, seed, insert_pool)
     if name == "email":
         return make_email_dataset(n, seed, insert_pool)
-    raise ValueError(f"unknown dataset {name!r}")
+    raise InvalidArgument(f"unknown dataset {name!r}")

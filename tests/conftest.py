@@ -1,10 +1,35 @@
 """Shared fixtures for the test suite."""
 
+import os
 import random
 
 import pytest
 
 from repro.dm import Cluster, ClusterConfig
+
+
+@pytest.fixture(autouse=True)
+def _dmsan(monkeypatch):
+    """Opt-in sanitizer harness: ``REPRO_SAN=1 pytest ...`` attaches a DMSan
+    monitor to every Cluster the test builds and asserts a clean report at
+    teardown.  CI runs the concurrency and failure-injection suites this
+    way; any other suite can be spot-checked with the same switch."""
+    if os.environ.get("REPRO_SAN") != "1":
+        yield
+        return
+    monitors = []
+    original_init = Cluster.__init__
+
+    def sanitized_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        monitors.append((self, self.attach_sanitizer()))
+
+    monkeypatch.setattr(Cluster, "__init__", sanitized_init)
+    yield
+    for _, monitor in monitors:
+        report = monitor.report
+        assert report.clean, \
+            report.summary() + "\n" + "\n".join(report.render_violations())
 
 
 @pytest.fixture

@@ -179,3 +179,11 @@ def test_op_stats_merge():
     b = OpStats(reads=3, writes=1, round_trips=1)
     a.merge(b)
     assert a.reads == 4 and a.writes == 1 and a.round_trips == 3
+
+
+def test_batch_rejects_empty():
+    # An empty doorbell would silently charge a round trip for nothing.
+    with pytest.raises(SimulationError, match="empty batch"):
+        Batch([])
+    with pytest.raises(SimulationError, match="empty batch"):
+        Batch(())

@@ -130,3 +130,51 @@ def test_detects_missing_inht_entry():
     report = check_sphinx(cluster, index)
     assert report.inht_missing >= 1
     assert not report.clean
+
+
+def test_detects_reachable_invalid_node():
+    cluster, index, client, ex, keys = build_sphinx(n=400)
+    root = decode_node(cluster.memories[addr_mn(index.root_addr)].read(
+        addr_offset(index.root_addr), node_size(NODE256)))
+    inner = next(s for s in root.occupied_slots() if not s.is_leaf)
+    memory = cluster.memories[addr_mn(inner.addr)]
+    # Flip the node's status bits to Invalid while it is still linked:
+    # type switches must unlink before invalidating, so fsck flags it.
+    header_word = memory.read_u64(addr_offset(inner.addr))
+    memory.write_u64(addr_offset(inner.addr), (header_word & ~0x3) | 0x2)
+    report = check_index(cluster, index)
+    assert not report.clean
+    assert any("reachable but Invalid" in e for e in report.errors)
+
+
+def test_duplicate_partial_error_string():
+    cluster, index, client, ex, keys = build_sphinx(n=400)
+    root = decode_node(cluster.memories[addr_mn(index.root_addr)].read(
+        addr_offset(index.root_addr), node_size(NODE256)))
+    inner = next(s for s in root.occupied_slots() if not s.is_leaf)
+    memory = cluster.memories[addr_mn(inner.addr)]
+    node = decode_node(memory.read(addr_offset(inner.addr),
+                                   node_size(inner.size_class)))
+    occupied_indexes = [i for i, w in enumerate(node.words) if w >> 63]
+    if len(occupied_indexes) < 2:
+        pytest.skip("need a node with two children")
+    a, b = occupied_indexes[:2]
+    word_a = memory.read_u64(addr_offset(inner.addr) + 8 + a * 8)
+    memory.write_u64(addr_offset(inner.addr) + 8 + b * 8, word_a)
+    report = check_index(cluster, index)
+    assert not report.clean
+    assert any("duplicate partial bytes" in e for e in report.errors)
+
+
+def test_corrupted_leaf_error_names_address():
+    cluster, index, client, ex, keys = build_sphinx(n=100)
+    root = decode_node(cluster.memories[addr_mn(index.root_addr)].read(
+        addr_offset(index.root_addr), node_size(NODE256)))
+    slot = next(s for s in root.occupied_slots() if s.is_leaf)
+    memory = cluster.memories[addr_mn(slot.addr)]
+    offset = addr_offset(slot.addr) + 18
+    memory.write(offset, bytes([memory.read(offset, 1)[0] ^ 0xFF]))
+    report = check_index(cluster, index)
+    assert not report.clean
+    assert any("checksum" in e and f"{slot.addr:#x}" in e
+               for e in report.errors)
