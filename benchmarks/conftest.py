@@ -18,3 +18,20 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(text)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write host-side perf of this session's grid cells as BENCH_2.json.
+
+    Every cell executed through ``repro.bench.harness.run_grid`` feeds the
+    process-global tracker; sessions that ran no grids (collection-only,
+    figure subsets without grid cells) write nothing.
+    """
+    from repro.bench.perftrack import TRACKER
+
+    if not TRACKER.cells:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = TRACKER.write(str(RESULTS_DIR / "BENCH_2.json"))
+    print(f"\nBENCH_2.json: {len(report['cells'])} cells, "
+          f"total wall {report['total_wall_s']:.2f}s")

@@ -88,6 +88,16 @@ HASH_ENTRY = BitStruct("hash_entry", [
 FP2_BITS = 12
 EMPTY_WORD = 0
 
+# Decoded-word memos.  Header/Slot/HashEntry are frozen dataclasses, so
+# one instance per distinct word can be shared by every decode; traversals
+# re-read the same hot nodes constantly and allocating a fresh object per
+# unpack dominated decode time.  Bounded: cleared wholesale at _MEMO_MAX
+# (purity makes refilling correct).
+_MEMO_MAX = 1 << 20
+_HEADER_MEMO: Dict[int, "Header"] = {}
+_SLOT_MEMO: Dict[int, "Slot"] = {}
+_HASH_ENTRY_MEMO: Dict[int, "HashEntry"] = {}
+
 
 @dataclass(frozen=True)
 class Header:
@@ -100,15 +110,30 @@ class Header:
     count: int
 
     def pack(self) -> int:
-        return HEADER.pack(status=self.status, node_type=self.node_type,
-                           depth=self.depth, prefix_hash=self.prefix_hash,
-                           count=self.count)
+        # Hand-coded (hot path): equivalent to HEADER.pack(**fields),
+        # with the same out-of-range rejection.
+        status, node_type, depth = self.status, self.node_type, self.depth
+        prefix_hash, count = self.prefix_hash, self.count
+        if not (0 <= status < 4 and 0 <= node_type < 8 and
+                0 <= depth < 256 and 0 <= prefix_hash < (1 << 42) and
+                0 <= count < 512):
+            return HEADER.pack(status=status, node_type=node_type,
+                               depth=depth, prefix_hash=prefix_hash,
+                               count=count)  # raises the precise error
+        return (status | (node_type << 2) | (depth << 5)
+                | (prefix_hash << 13) | (count << 55))
 
     @staticmethod
     def unpack(word: int) -> "Header":
         # Hand-coded (hot path): equivalent to HEADER.unpack().
-        return Header(word & 0x3, (word >> 2) & 0x7, (word >> 5) & 0xFF,
-                      (word >> 13) & 0x3FFFFFFFFFF, (word >> 55) & 0x1FF)
+        header = _HEADER_MEMO.get(word)
+        if header is None:
+            if len(_HEADER_MEMO) >= _MEMO_MAX:
+                _HEADER_MEMO.clear()
+            header = _HEADER_MEMO[word] = Header(
+                word & 0x3, (word >> 2) & 0x7, (word >> 5) & 0xFF,
+                (word >> 13) & 0x3FFFFFFFFFF, (word >> 55) & 0x1FF)
+        return header
 
 
 @dataclass(frozen=True)
@@ -122,17 +147,29 @@ class Slot:
     occupied: bool
 
     def pack(self) -> int:
-        return SLOT.pack(addr=self.addr, partial=self.partial,
-                         size_class=self.size_class,
-                         is_leaf=int(self.is_leaf),
-                         occupied=int(self.occupied))
+        # Hand-coded (hot path): equivalent to SLOT.pack(**fields).
+        addr, partial, size_class = self.addr, self.partial, self.size_class
+        if not (0 <= addr < (1 << 48) and 0 <= partial < 256 and
+                0 <= size_class < 64):
+            return SLOT.pack(addr=addr, partial=partial,
+                             size_class=size_class,
+                             is_leaf=int(self.is_leaf),
+                             occupied=int(self.occupied))
+        return (addr | (partial << 48) | (size_class << 56)
+                | (bool(self.is_leaf) << 62) | (bool(self.occupied) << 63))
 
     @staticmethod
     def unpack(word: int) -> "Slot":
         # Hand-coded (hot path): equivalent to SLOT.unpack().
-        return Slot(word & 0xFFFFFFFFFFFF, (word >> 48) & 0xFF,
-                    (word >> 56) & 0x3F, bool((word >> 62) & 1),
-                    bool((word >> 63) & 1))
+        slot = _SLOT_MEMO.get(word)
+        if slot is None:
+            if len(_SLOT_MEMO) >= _MEMO_MAX:
+                _SLOT_MEMO.clear()
+            slot = _SLOT_MEMO[word] = Slot(
+                word & 0xFFFFFFFFFFFF, (word >> 48) & 0xFF,
+                (word >> 56) & 0x3F, bool((word >> 62) & 1),
+                bool((word >> 63) & 1))
+        return slot
 
     def leaf_size(self) -> int:
         """Byte size of the leaf this slot points at (LeafLen * 64)."""
@@ -157,15 +194,26 @@ class HashEntry:
     occupied: bool
 
     def pack(self) -> int:
-        return HASH_ENTRY.pack(addr=self.addr, fp2=self.fp2,
-                               node_type=self.node_type,
-                               occupied=int(self.occupied))
+        # Hand-coded (hot path): equivalent to HASH_ENTRY.pack(**fields).
+        addr, fp2, node_type = self.addr, self.fp2, self.node_type
+        if not (0 <= addr < (1 << 48) and 0 <= fp2 < (1 << 12) and
+                0 <= node_type < 8):
+            return HASH_ENTRY.pack(addr=addr, fp2=fp2, node_type=node_type,
+                                   occupied=int(self.occupied))
+        return (addr | (fp2 << 48) | (node_type << 60)
+                | (bool(self.occupied) << 63))
 
     @staticmethod
     def unpack(word: int) -> "HashEntry":
         # Hand-coded (hot path): equivalent to HASH_ENTRY.unpack().
-        return HashEntry(word & 0xFFFFFFFFFFFF, (word >> 48) & 0xFFF,
-                         (word >> 60) & 0x7, bool((word >> 63) & 1))
+        entry = _HASH_ENTRY_MEMO.get(word)
+        if entry is None:
+            if len(_HASH_ENTRY_MEMO) >= _MEMO_MAX:
+                _HASH_ENTRY_MEMO.clear()
+            entry = _HASH_ENTRY_MEMO[word] = HashEntry(
+                word & 0xFFFFFFFFFFFF, (word >> 48) & 0xFFF,
+                (word >> 60) & 0x7, bool((word >> 63) & 1))
+        return entry
 
 
 # -- whole-node encode/decode -------------------------------------------------
@@ -178,10 +226,10 @@ def encode_node(header: Header, slots: List[Optional[Slot]]) -> bytes:
             f"node type {header.node_type} needs {capacity} slots, "
             f"got {len(slots)}"
         )
-    out = bytearray(u64_to_bytes(header.pack()))
-    for slot in slots:
-        out += u64_to_bytes(slot.pack() if slot is not None else EMPTY_WORD)
-    return bytes(out)
+    words = [header.pack()]
+    words.extend(slot.pack() if slot is not None else EMPTY_WORD
+                 for slot in slots)
+    return _NODE_STRUCTS[header.node_type].pack(*words)
 
 
 _OCC = 1 << 63
@@ -303,9 +351,11 @@ def leaf_status_word(status: int, units: int, key_len: int,
 
     The paper's leaf locking CASes the word holding the status field; the
     word also covers LeafLen and the lengths, all stable while locked.
+    Computed arithmetically (little-endian ``<BBHHH_`` layout) - this
+    sits on every leaf lock/unlock CAS.
     """
-    packed = struct.pack("<BBHHH", status, units, key_len, val_len, 0)
-    return int.from_bytes(packed, "little")
+    return (status & 0xFF) | ((units & 0xFF) << 8) | \
+        ((key_len & 0xFFFF) << 16) | ((val_len & 0xFFFF) << 32)
 
 
 @dataclass

@@ -11,6 +11,11 @@ Usage::
 Scale knobs: ``--keys`` (dataset size), ``--ops`` (timed operations per
 run), ``--workers``; environment variables REPRO_BENCH_KEYS /
 REPRO_BENCH_OPS / REPRO_BENCH_WORKERS set the defaults.
+
+Perf knobs: ``--parallel N`` fans grid cells over N forked processes
+(rows stay bit-identical to a serial run); ``--perf-out BENCH_2.json``
+writes host-side perf per cell; ``--compare baseline.json`` exits
+nonzero on a wall-clock regression past 20 %.
 """
 
 from __future__ import annotations
@@ -33,7 +38,9 @@ from .figures import (
     render_fig5,
     render_fig6,
 )
-from .harness import DEFAULT_KEYS, DEFAULT_OPS, DEFAULT_WORKERS
+from .harness import DEFAULT_KEYS, DEFAULT_OPS, DEFAULT_PARALLEL, \
+    DEFAULT_WORKERS
+from .perftrack import TRACKER, compare, load_report
 from .reporting import banner, format_table
 
 
@@ -55,17 +62,27 @@ def main(argv=None) -> int:
     parser.add_argument("--keys", type=int, default=DEFAULT_KEYS)
     parser.add_argument("--ops", type=int, default=DEFAULT_OPS)
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--parallel", type=int, default=DEFAULT_PARALLEL,
+                        help="fan grid cells over N forked processes "
+                             "(0 = serial; results are bit-identical)")
+    parser.add_argument("--perf-out", metavar="PATH",
+                        help="write host-side perf per cell (BENCH_2.json)")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="diff perf against a baseline BENCH_2.json; "
+                             "exit 1 on >20%% total wall regression")
     args = parser.parse_args(argv)
     datasets = ["u64", "email"] if args.dataset == "both" else [args.dataset]
 
     if args.figure in ("fig4", "all"):
         for dataset in datasets:
             print(render_fig4(fig4_ycsb(dataset, num_keys=args.keys,
-                                        ops=args.ops, workers=args.workers)))
+                                        ops=args.ops, workers=args.workers,
+                                        parallel=args.parallel)))
     if args.figure in ("fig5", "all"):
         for dataset in datasets:
             print(render_fig5(fig5_scalability(dataset, num_keys=args.keys,
-                                               ops=args.ops)))
+                                               ops=args.ops,
+                                               parallel=args.parallel)))
     if args.figure in ("fig6", "all"):
         print(render_fig6(fig6_memory(num_keys=args.keys)))
     if args.figure in ("ablations", "all"):
@@ -89,6 +106,18 @@ def main(argv=None) -> int:
         print(_rows_table(ablation_distribution_skew(num_keys=args.keys,
                                                      ops=args.ops,
                                                      workers=args.workers)))
+    if args.perf_out:
+        report = TRACKER.write(args.perf_out)
+        print(f"wrote {args.perf_out}: {len(report['cells'])} cells, "
+              f"total wall {report['total_wall_s']:.2f}s")
+    if args.compare:
+        messages, failed = compare(TRACKER.report(),
+                                   load_report(args.compare))
+        for message in messages:
+            print(message)
+        if failed:
+            print("PERF REGRESSION: total wall time over threshold")
+            return 1
     return 0
 
 

@@ -19,9 +19,11 @@ from .harness import (
     DEFAULT_OPS,
     DEFAULT_WORKERS,
     SYSTEMS,
+    CellSpec,
     SystemSetup,
     build_setup,
     load_dataset,
+    run_grid,
     scaled_cache_bytes,
     timed_run,
 )
@@ -54,12 +56,15 @@ class Fig4Result:
 
 def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
               ops: int = DEFAULT_OPS, workers: int = DEFAULT_WORKERS,
-              systems=SYSTEMS, scan_ops: Optional[int] = None) -> Fig4Result:
+              systems=SYSTEMS, scan_ops: Optional[int] = None,
+              parallel: Optional[int] = None) -> Fig4Result:
     """The YCSB throughput grid (paper Fig 4, one dataset).
 
-    Per system: the dataset is bulk-loaded untimed, then LOAD is timed
-    using fresh keys from the insert pool, then A-E run on the loaded
-    state (read/update first, the insert-heavy E last).
+    Per system: the dataset is bulk-loaded untimed once; every workload
+    (LOAD with fresh keys from the insert pool, then A-E) runs against a
+    pristine copy of that loaded, cache-warmed state, so each cell is an
+    independent measurement and the grid can run in any order or in
+    parallel without changing a digit.
     """
     result = Fig4Result(dataset_name)
     if scan_ops is None:
@@ -71,15 +76,16 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
     # system and erases the batching contrast the paper measures; run E
     # at a proportionally lower worker count (the pre-saturation regime).
     scan_workers = max(12, workers // 8)
-    for system in systems:
-        dataset = load_dataset(dataset_name, num_keys)
-        setup = build_setup(system, dataset)
-        for workload_name in FIG4_WORKLOADS:
-            run_ops = scan_ops if workload_name == "E" else ops
-            run_workers = scan_workers if workload_name == "E" else workers
-            run = timed_run(setup, workload_name, workers=run_workers,
-                            ops=run_ops)
-            result.rows.append(run.row())
+    cells = [
+        CellSpec(system=system, dataset=dataset_name,
+                 workload=workload_name, num_keys=num_keys,
+                 ops=scan_ops if workload_name == "E" else ops,
+                 workers=scan_workers if workload_name == "E" else workers,
+                 seed=0)
+        for system in systems for workload_name in FIG4_WORKLOADS
+    ]
+    for run in run_grid(cells, parallel):
+        result.rows.append(run.row())
     return result
 
 
@@ -125,16 +131,17 @@ class Fig5Result:
 
 def fig5_scalability(dataset_name: str, num_keys: int = DEFAULT_KEYS,
                      ops: int = DEFAULT_OPS, systems=SYSTEMS,
-                     worker_counts=FIG5_WORKERS) -> Fig5Result:
+                     worker_counts=FIG5_WORKERS,
+                     parallel: Optional[int] = None) -> Fig5Result:
     """Throughput-latency curves for YCSB-A (paper Fig 5, one dataset)."""
     result = Fig5Result(dataset_name)
-    for system in systems:
-        dataset = load_dataset(dataset_name, num_keys)
-        setup = build_setup(system, dataset)
-        for workers in worker_counts:
-            run = timed_run(setup, "A", workers=workers, ops=ops,
-                            seed=workers)
-            result.rows.append(run.row())
+    cells = [
+        CellSpec(system=system, dataset=dataset_name, workload="A",
+                 num_keys=num_keys, ops=ops, workers=workers, seed=workers)
+        for system in systems for workers in worker_counts
+    ]
+    for run in run_grid(cells, parallel):
+        result.rows.append(run.row())
     return result
 
 

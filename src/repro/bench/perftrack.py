@@ -1,0 +1,159 @@
+"""Host-side benchmark performance tracking and regression flagging.
+
+The simulator reports *simulated* throughput; this module tracks how fast
+the simulation itself runs on the host.  Every grid cell executed through
+:func:`repro.bench.harness.run_grid` contributes one record (wall-clock
+seconds, engine events processed, events per wall second, simulated
+throughput), and the session report is written as ``BENCH_2.json``::
+
+    {
+      "schema": "BENCH_2",
+      "total_wall_s": 41.2,
+      "cells": [
+        {"system": "Sphinx", "dataset": "u64", "workload": "A", ...},
+        ...
+      ]
+    }
+
+``compare`` (also the module CLI) diffs a report against a checked-in
+baseline and flags wall-clock regressions, so a perf-sensitive change
+shows up in CI rather than as a mysteriously slower benchmark suite::
+
+    python -m repro.bench.perftrack BENCH_2.json --compare baseline.json
+
+Per-cell regressions are printed as warnings; the exit status only turns
+nonzero when the *total* wall time regresses past the threshold (20 % by
+default), which keeps single-cell scheduling noise from failing a build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+SCHEMA = "BENCH_2"
+DEFAULT_THRESHOLD = 0.20
+
+_CELL_ID_FIELDS = ("system", "dataset", "workload", "workers", "ops")
+
+
+class PerfTracker:
+    """Accumulates per-cell host perf records for one process/session."""
+
+    def __init__(self) -> None:
+        self.cells: List[dict] = []
+
+    def add(self, result) -> None:
+        """Record one RunResult whose ``perf`` dict the harness filled."""
+        if result is None or getattr(result, "perf", None) is None:
+            return
+        record = {
+            "system": result.system,
+            "workload": result.workload,
+            "dataset": result.dataset,
+            "workers": result.workers,
+            "ops": result.ops,
+        }
+        record.update(result.perf)
+        self.cells.append(record)
+
+    def clear(self) -> None:
+        self.cells.clear()
+
+    def report(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "total_wall_s": round(sum(c["wall_s"] for c in self.cells), 3),
+            "total_events": sum(c["events"] for c in self.cells),
+            "cells": list(self.cells),
+        }
+
+    def write(self, path: str) -> dict:
+        report = self.report()
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return report
+
+
+#: Process-global tracker fed by ``run_grid``; figure CLIs and the
+#: benchmark suite's session hook write it out as BENCH_2.json.
+TRACKER = PerfTracker()
+
+
+def _cell_id(cell: dict) -> Tuple:
+    return tuple(cell.get(f) for f in _CELL_ID_FIELDS)
+
+
+def load_report(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare(current: dict, baseline: dict,
+            threshold: float = DEFAULT_THRESHOLD
+            ) -> Tuple[List[str], bool]:
+    """Diff two BENCH reports.
+
+    Returns ``(messages, failed)``: one message per notable per-cell or
+    total delta; ``failed`` is True only when total wall time regressed
+    by more than ``threshold`` (relative).
+    """
+    messages: List[str] = []
+    base_cells: Dict[Tuple, dict] = {
+        _cell_id(c): c for c in baseline.get("cells", ())}
+    for cell in current.get("cells", ()):
+        base = base_cells.get(_cell_id(cell))
+        if base is None or base.get("wall_s", 0) <= 0:
+            continue
+        ratio = cell["wall_s"] / base["wall_s"]
+        if ratio > 1 + threshold:
+            messages.append(
+                f"cell {cell['system']}/{cell['dataset']}/{cell['workload']}"
+                f" wall {base['wall_s']:.2f}s -> {cell['wall_s']:.2f}s"
+                f" ({ratio:.2f}x)")
+    base_total = baseline.get("total_wall_s", 0)
+    cur_total = current.get("total_wall_s", 0)
+    failed = False
+    if base_total > 0:
+        ratio = cur_total / base_total
+        messages.append(
+            f"total wall {base_total:.2f}s -> {cur_total:.2f}s ({ratio:.2f}x,"
+            f" threshold {1 + threshold:.2f}x)")
+        failed = ratio > 1 + threshold
+    return messages, failed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perftrack",
+        description="Summarize or diff BENCH_2.json perf reports.")
+    parser.add_argument("report", help="current BENCH_2.json")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline BENCH_2.json to diff against")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative wall-clock regression tolerance "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args(argv)
+    current = load_report(args.report)
+    print(f"{args.report}: {len(current.get('cells', ()))} cells, "
+          f"total wall {current.get('total_wall_s', 0):.2f}s, "
+          f"{current.get('total_events', 0)} events")
+    if not args.compare:
+        return 0
+    messages, failed = compare(current, load_report(args.compare),
+                               args.threshold)
+    for message in messages:
+        print(message)
+    if failed:
+        print("PERF REGRESSION: total wall time over threshold")
+        return 1
+    print("perf check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

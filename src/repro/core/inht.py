@@ -46,6 +46,25 @@ class InnerNodeHashTable:
             for mn in self.tables)
 
 
+class _SegmentAllocator:
+    """Allocates zeroed table segments on one MN.
+
+    A class (not a closure) so that snapshotting a loaded system with
+    ``copy.deepcopy`` copies the captured cluster reference along with
+    the rest of the object graph; a lambda would be copied by reference
+    and keep allocating on the *original* cluster after a restore.
+    """
+
+    def __init__(self, cluster: Cluster, mn_id: int, params: TableParams):
+        self._cluster = cluster
+        self._mn_id = mn_id
+        self._params = params
+
+    def __call__(self, local_depth: int) -> int:
+        return allocate_segment(self._cluster, self._mn_id, self._params,
+                                local_depth)
+
+
 class InhtClient:
     """One CN's client of the cluster-wide INHT.
 
@@ -57,10 +76,8 @@ class InhtClient:
         self._placement = cluster.placement
         self._clients: Dict[int, RaceClient] = {}
         for mn, info in inht.tables.items():
-            def make_alloc(mn_id=mn, params=info.params):
-                return lambda depth: allocate_segment(
-                    cluster, mn_id, params, depth)
-            self._clients[mn] = RaceClient(info, make_alloc())
+            self._clients[mn] = RaceClient(
+                info, _SegmentAllocator(cluster, mn, info.params))
 
     def _client_for(self, prefix: bytes) -> RaceClient:
         return self._clients[self._placement.mn_for_prefix(prefix)]

@@ -141,8 +141,6 @@ class OpContext:
 class RemoteArtTree:
     """Base class: a client of a remote ART living in MN memory."""
 
-    _instances = 0
-
     def __init__(self, cluster: Cluster, root_addr: int,
                  max_retries: int = 64, backoff_ns: int = 2_000):
         self.cluster = cluster
@@ -151,10 +149,10 @@ class RemoteArtTree:
         self.backoff_ns = backoff_ns
         self.metrics = TreeMetrics()
         self.scan_batched = True
-        RemoteArtTree._instances += 1
         import random as _random
-        self._backoff_rng = _random.Random(0xBACC0FF ^
-                                           RemoteArtTree._instances)
+        # Cluster-scoped seed: a process-global counter here would tie
+        # the jitter stream to process history (see Cluster.next_seed).
+        self._backoff_rng = _random.Random(cluster.next_seed(0xBACC0FF))
 
     def _backoff_delay(self, attempt: int) -> int:
         """Exponential backoff with jitter (hot zipfian keys put many

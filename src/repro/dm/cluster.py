@@ -67,6 +67,7 @@ class Cluster:
             seed=self.config.placement_seed)
         self.monitor = None        # optional DMSan AccessMonitor
         self._client_seq = 0
+        self._seed_seq = 0
 
     # -- sanitizer ---------------------------------------------------------
     def attach_monitor(self, monitor) -> None:
@@ -91,6 +92,17 @@ class Cluster:
     def _next_client_id(self, prefix: str) -> str:
         self._client_seq += 1
         return f"{prefix}#{self._client_seq}"
+
+    def next_seed(self, salt: int = 0) -> int:
+        """A deterministic per-cluster RNG seed.
+
+        Client-side jitter RNGs must be seeded from *cluster-scoped*
+        state: a process-global counter would make a client's random
+        stream depend on how many clusters the process built before this
+        one, breaking run-order independence (and with it, bit-identical
+        serial-vs-parallel benchmark grids)."""
+        self._seed_seq += 1
+        return salt ^ self._seed_seq
 
     # -- allocation ------------------------------------------------------
     def alloc(self, mn_id: int, size: int, category: str = "generic") -> int:

@@ -223,22 +223,28 @@ class Memory:
 
     def read(self, offset: int, size: int) -> bytes:
         self._check_range(offset, size)
-        self._flag_uaf(offset, size, "read")
-        return bytes(self._data[offset:offset + size])
+        if self._freed_offsets:
+            self._flag_uaf(offset, size, "read")
+        # memoryview slice -> one copy; a bytearray slice plus bytes()
+        # would copy the payload twice per verb.
+        return memoryview(self._data)[offset:offset + size].tobytes()
 
     def write(self, offset: int, data: bytes) -> None:
         self._check_range(offset, len(data))
-        self._flag_uaf(offset, len(data), "write")
+        if self._freed_offsets:
+            self._flag_uaf(offset, len(data), "write")
         self._data[offset:offset + len(data)] = data
 
     def read_u64(self, offset: int) -> int:
         self._check_range(offset, 8)
-        self._flag_uaf(offset, 8, "read_u64")
+        if self._freed_offsets:
+            self._flag_uaf(offset, 8, "read_u64")
         return _U64.unpack_from(self._data, offset)[0]
 
     def write_u64(self, offset: int, value: int) -> None:
         self._check_range(offset, 8)
-        self._flag_uaf(offset, 8, "write_u64")
+        if self._freed_offsets:
+            self._flag_uaf(offset, 8, "write_u64")
         _U64.pack_into(self._data, offset, value)
 
     def cas_u64(self, offset: int, expected: int, desired: int):

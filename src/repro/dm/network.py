@@ -85,6 +85,10 @@ class Nic:
 
     def __post_init__(self):
         self.server = FifoServer(self.engine, self.name, self.capacity)
+        # Service time is a pure function of the payload size and the
+        # (frozen) config, and verbs reuse a handful of payload sizes, so
+        # memoize rather than redo the bandwidth arithmetic per message.
+        self._service_ns: dict = {}
 
     def process(self, payload_bytes: int, extra_ns: int = 0,
                 arrive_delay: int = 0):
@@ -95,7 +99,10 @@ class Nic:
         """
         self.messages += 1
         self.payload_bytes += payload_bytes
-        service = self.config.msg_service_ns(self.side, payload_bytes)
+        service = self._service_ns.get(payload_bytes)
+        if service is None:
+            service = self._service_ns[payload_bytes] = \
+                self.config.msg_service_ns(self.side, payload_bytes)
         return self.server.submit(service + extra_ns, arrive_delay)
 
     def utilization(self) -> float:

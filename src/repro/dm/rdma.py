@@ -113,15 +113,18 @@ class OpStats:
     local_compute_ns: int = 0
 
     def count_verb(self, op: Verb) -> None:
-        if isinstance(op, ReadOp):
+        # Exact-class dispatch: the verb set is closed (no subclassing),
+        # and this runs once per verb of every benchmark op.
+        cls = op.__class__
+        if cls is ReadOp:
             self.reads += 1
             self.bytes_read += op.size
-        elif isinstance(op, WriteOp):
+        elif cls is WriteOp:
             self.writes += 1
             self.bytes_written += len(op.data)
-        elif isinstance(op, CasOp):
+        elif cls is CasOp:
             self.cas += 1
-        elif isinstance(op, FaaOp):
+        elif cls is FaaOp:
             self.faa += 1
         else:  # pragma: no cover - descriptor set is closed
             raise SimulationError(f"unknown verb {op!r}")
@@ -140,27 +143,29 @@ def apply_verb(memories: Mapping[int, Memory], op: Verb) -> Any:
     """Execute a verb's memory side effect and return its result."""
     memory = memories[addr_mn(op.addr)]
     offset = addr_offset(op.addr)
-    if isinstance(op, ReadOp):
+    cls = op.__class__
+    if cls is ReadOp:
         return memory.read(offset, op.size)
-    if isinstance(op, WriteOp):
+    if cls is WriteOp:
         memory.write(offset, op.data)
         return None
-    if isinstance(op, CasOp):
+    if cls is CasOp:
         return memory.cas_u64(offset, op.expected, op.desired)
-    if isinstance(op, FaaOp):
+    if cls is FaaOp:
         return memory.faa_u64(offset, op.delta)
     raise SimulationError(f"unknown verb {op!r}")
 
 
 def _verb_sizes(op: Verb) -> Tuple[int, int]:
     """(request payload bytes, response payload bytes) for timing."""
-    if isinstance(op, ReadOp):
+    cls = op.__class__
+    if cls is ReadOp:
         return 0, op.size
-    if isinstance(op, WriteOp):
+    if cls is WriteOp:
         return len(op.data), 0
-    if isinstance(op, CasOp):
+    if cls is CasOp:
         return 16, 8
-    if isinstance(op, FaaOp):
+    if cls is FaaOp:
         return 8, 8
     raise SimulationError(f"unknown verb {op!r}")
 
@@ -198,10 +203,11 @@ class DirectExecutor:
         return result
 
     def execute(self, op: OpOrBatch) -> Any:
-        if isinstance(op, LocalCompute):
+        cls = op.__class__
+        if cls is LocalCompute:
             self.stats.local_compute_ns += op.ns
             return None
-        if isinstance(op, Batch):
+        if cls is Batch:
             self.stats.batches += 1
             self.stats.round_trips += 1
             results = []
@@ -253,7 +259,8 @@ class SimExecutor:
         cfg = self._config
         mn_nic = self._mn_nics[addr_mn(op.addr)]
         req_bytes, resp_bytes = _verb_sizes(op)
-        extra = cfg.atomic_extra_ns if isinstance(op, (CasOp, FaaOp)) else 0
+        cls = op.__class__
+        extra = cfg.atomic_extra_ns if (cls is CasOp or cls is FaaOp) else 0
         self.stats.count_verb(op)
         monitor = self.monitor
         token = None
@@ -278,11 +285,12 @@ class SimExecutor:
         return result
 
     def _perform(self, op: OpOrBatch):
-        if isinstance(op, LocalCompute):
+        cls = op.__class__
+        if cls is LocalCompute:
             self.stats.local_compute_ns += op.ns
             yield self.engine.timeout(op.ns)
             return None
-        if isinstance(op, Batch):
+        if cls is Batch:
             self.stats.batches += 1
             self.stats.round_trips += 1
             procs = [self.engine.process(self._verb(verb), name="verb")

@@ -59,12 +59,33 @@ class SuccinctFilterCache:
         self._fps: List[int] = [EMPTY] * n
         self._hot: List[bool] = [False] * n
         self._rng = rng if rng is not None else random.Random(0x5FC)
+        # (fp, bucket1, bucket2) per item, and the fp -> alt-xor mask
+        # table used during relocation.  Both memoize pure functions of
+        # the filter geometry, so cached and computed paths agree bit
+        # for bit; probes dominate every search, so the cache matters.
+        self._key_memo: dict = {}
+        self._alt_memo: dict = {}
         self.second_chance = second_chance
         """False = ablation mode: evict uniformly, ignoring hotness bits."""
         self.count = 0
         self.evictions = 0
         self.hits = 0
         self.misses = 0
+
+    def __deepcopy__(self, memo):
+        """Snapshot-restore support: copy the filter *state* (slots,
+        hotness bits, RNG, counters) but share the probe memos - they
+        cache pure functions of the fixed filter geometry, so every copy
+        reads identical values, and walking their ~100k tuples dominated
+        ``copy.deepcopy`` of a loaded benchmark system."""
+        import copy as _copy
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        clone.__dict__.update(self.__dict__)
+        clone._fps = list(self._fps)
+        clone._hot = list(self._hot)
+        clone._rng = _copy.deepcopy(self._rng, memo)
+        return clone
 
     # -- hashing (same scheme as the base filter) -------------------------
     def _fp(self, item: bytes) -> int:
@@ -74,20 +95,39 @@ class SuccinctFilterCache:
         return hash64(item, 0xB0CCE7) & self._mask
 
     def _alt_index(self, index: int, fp: int) -> int:
-        return (index ^ hash64(fp.to_bytes(4, "little"), 0xA17)) & self._mask
+        mask = self._alt_memo.get(fp)
+        if mask is None:
+            mask = self._alt_memo[fp] = hash64(fp.to_bytes(4, "little"),
+                                               0xA17)
+        return (index ^ mask) & self._mask
 
     def _slots(self, bucket: int) -> range:
         base = bucket * self.bucket_slots
         return range(base, base + self.bucket_slots)
 
+    def _probe(self, item: bytes):
+        """(fp, bucket1, bucket2) for ``item``, memoized."""
+        probe = self._key_memo.get(item)
+        if probe is None:
+            fp = self._fp(item)
+            i1 = self._index1(item)
+            probe = (fp, i1, self._alt_index(i1, fp))
+            self._key_memo[item] = probe
+        return probe
+
     # -- queries ----------------------------------------------------------
     def contains(self, item: bytes) -> bool:
         """Existence check; a hit marks the entry as recently used."""
-        fp = self._fp(item)
-        i1 = self._index1(item)
-        for bucket in (i1, self._alt_index(i1, fp)):
-            for slot in self._slots(bucket):
-                if self._fps[slot] == fp:
+        probe = self._key_memo.get(item)  # inlined _probe: hottest query
+        if probe is None:
+            probe = self._probe(item)
+        fp, i1, i2 = probe
+        fps = self._fps
+        slots_per = self.bucket_slots
+        for bucket in (i1, i2):
+            base = bucket * slots_per
+            for slot in range(base, base + slots_per):
+                if fps[slot] == fp:
                     self._hot[slot] = True
                     self.hits += 1
                     return True
@@ -97,9 +137,7 @@ class SuccinctFilterCache:
     # -- updates -----------------------------------------------------------
     def insert(self, item: bytes) -> None:
         """Insert ``item``; never fails (may evict a cold entry)."""
-        fp = self._fp(item)
-        i1 = self._index1(item)
-        i2 = self._alt_index(i1, fp)
+        fp, i1, i2 = self._probe(item)
         # Already present? Nothing to do (idempotent for a *cache*).
         for bucket in (i1, i2):
             for slot in self._slots(bucket):

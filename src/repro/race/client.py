@@ -94,6 +94,19 @@ class GroupView:
         return None
 
 
+_GROUP_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _group_struct(slots_per_group: int) -> struct.Struct:
+    """Header+slots unpacker, cached at module scope: ``struct.Struct``
+    objects cannot be deepcopied, so clients must not hold one."""
+    unpacker = _GROUP_STRUCTS.get(slots_per_group)
+    if unpacker is None:
+        unpacker = _GROUP_STRUCTS[slots_per_group] = struct.Struct(
+            f"<{1 + slots_per_group}Q")
+    return unpacker
+
+
 class RaceClient:
     """One client's view of one MN-resident table."""
 
@@ -102,8 +115,6 @@ class RaceClient:
         segment on the table's MN (control-plane; see DESIGN.md)."""
         self.info = info
         self.params = info.params
-        self._group_struct = struct.Struct(
-            f"<{1 + info.params.slots_per_group}Q")
         self._allocate_segment = allocate_segment
         self._dir_cache: Dict[int, DirCacheEntry] = {}
         self.splits = 0
@@ -142,7 +153,8 @@ class RaceClient:
 
     # -- group IO ------------------------------------------------------
     def _parse_group(self, addr: int, data: bytes) -> GroupView:
-        words = self._group_struct.unpack_from(data, 0)
+        words = _group_struct(self.params.slots_per_group).unpack_from(
+            data, 0)
         header = words[0]
         # Hand-decoded GROUP_HEADER: local_depth(8) | locked(1) | version(40).
         return GroupView(addr, header & 0xFF, bool((header >> 8) & 1),

@@ -16,16 +16,51 @@ what the RDMA substrate needs:
 
 Time is integer **nanoseconds**; all ordering is deterministic (ties broken
 by schedule order), which keeps benchmark results reproducible.
+
+Fast path
+---------
+
+Most events in an RDMA workload are *zero-delay bookkeeping* - process
+bootstraps, ``succeed()`` of batch members, AllOf completions - not
+timing-relevant completions.  The engine therefore keeps two structures:
+
+* a min-heap for events scheduled strictly in the future, and
+* a plain FIFO deque for events due "now".
+
+Both store ``(time, seq, event)`` with a shared monotonically increasing
+``seq``, and :meth:`Engine.run` merges them by ``(time, seq)``, so the
+execution order is **identical** to the single-heap engine - same
+deterministic tie-breaks, same results - while the common case pays a
+deque append/popleft instead of a heap push/pop.  Setting the environment
+variable ``REPRO_SIM_SLOW=1`` (checked at :class:`Engine` construction)
+routes every event through the heap again; the equivalence test in
+``tests/test_sim_fastpath.py`` diffs benchmark rows across the two paths.
+
+Similarly, almost every event has exactly one subscriber (the generator
+that yielded it), so callbacks live in a single slot (``_cb1``) and only
+spill into a list when a second subscriber appears; a ``yield
+engine.timeout(d)`` resumes its generator straight from the event pop
+with no intermediate callback list.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..errors import SimulationError
 
 PENDING = object()
+
+#: Sentinel stored in an event's callback slot once the engine has
+#: processed it; late subscribers then run immediately.
+_PROCESSED = object()
+
+
+def _slow_requested() -> bool:
+    return os.environ.get("REPRO_SIM_SLOW", "") not in ("", "0")
 
 
 class Event:
@@ -35,11 +70,12 @@ class Event:
     its callbacks for execution at the current simulation time.
     """
 
-    __slots__ = ("engine", "callbacks", "_value")
+    __slots__ = ("engine", "_cb1", "_spill", "_value")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._spill: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = PENDING
 
     @property
@@ -52,20 +88,37 @@ class Event:
             raise SimulationError("event value read before it triggered")
         return self._value
 
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """Subscriber list view (introspection; ``None`` once processed)."""
+        if self._cb1 is _PROCESSED:
+            return None
+        out: List[Callable[["Event"], None]] = []
+        if self._cb1 is not None:
+            out.append(self._cb1)
+        if self._spill:
+            out.extend(self._spill)
+        return out
+
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError("event triggered twice")
         self._value = value
         self.engine._queue_event(self)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
+        cb1 = self._cb1
+        if cb1 is None:
+            self._cb1 = fn
+        elif cb1 is _PROCESSED:
             # Already processed: run the callback immediately so late
             # subscribers (e.g. AllOf over a triggered event) still fire.
             fn(self)
+        elif self._spill is None:
+            self._spill = [fn]
         else:
-            self.callbacks.append(fn)
+            self._spill.append(fn)
 
 
 class Timeout(Event):
@@ -88,23 +141,26 @@ class Process(Event):
     event's value.  ``yield from`` composes sub-operations naturally.
     """
 
-    __slots__ = ("_gen", "name")
+    __slots__ = ("_gen", "name", "_resume_cb")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
         super().__init__(engine)
         self._gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        # Bind the resume callback once: it is re-registered on every
+        # yield, and bound-method creation per event is measurable.
+        self._resume_cb = self._resume
         # Bootstrap: resume once at the current time.
         boot = Event(engine)
-        boot.add_callback(self._resume)
+        boot._cb1 = self._resume_cb
         boot._value = None
         engine._queue_event(boot)
 
     def _resume(self, event: Event) -> None:
         try:
-            target = self._gen.send(event.value)
+            target = self._gen.send(event._value)
         except StopIteration as stop:
-            if not self.triggered:
+            if self._value is PENDING:
                 self.succeed(stop.value)
             return
         if not isinstance(target, Event):
@@ -112,7 +168,7 @@ class Process(Event):
                 f"process {self.name!r} yielded {type(target).__name__}, "
                 "expected an Event"
             )
-        target.add_callback(self._resume)
+        target.add_callback(self._resume_cb)
 
 
 class AllOf(Event):
@@ -141,20 +197,44 @@ class AllOf(Event):
 
 
 class Engine:
-    """The simulation clock and scheduler."""
+    """The simulation clock and scheduler.
 
-    def __init__(self):
+    ``slow=None`` (the default) consults ``REPRO_SIM_SLOW``; passing an
+    explicit boolean pins the scheduling path regardless of environment.
+    """
+
+    def __init__(self, slow: Optional[bool] = None):
         self.now: int = 0
         self._heap: List = []
+        self._fifo: deque = deque()
         self._seq = 0
+        self._slow = _slow_requested() if slow is None else bool(slow)
+        self.events_processed: int = 0
 
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: int) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay == 0 and not self._slow:
+            self._fifo.append((self.now, self._seq, event))
+        else:
+            heappush(self._heap, (self.now + delay, self._seq, event))
 
     def _queue_event(self, event: Event) -> None:
-        self._schedule(event, 0)
+        self._seq += 1
+        if self._slow:
+            heappush(self._heap, (self.now, self._seq, event))
+        else:
+            self._fifo.append((self.now, self._seq, event))
+
+    def _peek_time(self) -> Optional[int]:
+        """Timestamp of the next event across both queues, if any."""
+        if self._fifo:
+            if self._heap and self._heap[0][0] < self._fifo[0][0]:
+                return self._heap[0][0]
+            return self._fifo[0][0]
+        if self._heap:
+            return self._heap[0][0]
+        return None
 
     # -- public factory helpers ---------------------------------------
     def timeout(self, delay: int, value: Any = None) -> Timeout:
@@ -171,20 +251,38 @@ class Engine:
 
     # -- main loop ----------------------------------------------------
     def run(self, until: Optional[int] = None) -> int:
-        """Process events until the heap empties or the clock passes
+        """Process events until both queues empty or the clock passes
         ``until``.  Returns the final simulation time."""
-        while self._heap:
-            when, _seq, event = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
+        heap = self._heap
+        fifo = self._fifo
+        while heap or fifo:
+            # The FIFO's head carries the smallest (time, seq) of the
+            # FIFO (times are non-decreasing in append order and seq is
+            # globally monotonic), so one head-to-head comparison picks
+            # the globally next event - identical order to one big heap.
+            if fifo and not (heap and heap[0] < fifo[0]):
+                when, _seq, event = fifo[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return until
+                fifo.popleft()
+            else:
+                when, _seq, event = heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return until
+                heappop(heap)
             self.now = when
-            callbacks = event.callbacks
-            event.callbacks = None
-            if callbacks:
-                for fn in callbacks:
-                    fn(event)
+            self.events_processed += 1
+            cb1 = event._cb1
+            spill = event._spill
+            event._cb1 = _PROCESSED
+            if cb1 is not None:
+                cb1(event)
+                if spill:
+                    event._spill = None
+                    for fn in spill:
+                        fn(event)
         return self.now
 
     def run_until_complete(self, process: Process,
@@ -195,14 +293,15 @@ class Engine:
         bugs) by bounding simulated time.
         """
         while not process.triggered:
-            if not self._heap:
+            when = self._peek_time()
+            if when is None:
                 raise SimulationError(
                     f"deadlock: process {process.name!r} pending with an "
                     "empty event heap"
                 )
-            if limit is not None and self._heap[0][0] > limit:
+            if limit is not None and when > limit:
                 raise SimulationError(
                     f"process {process.name!r} exceeded time limit {limit}"
                 )
-            self.run(until=self._heap[0][0])
+            self.run(until=when)
         return process.value

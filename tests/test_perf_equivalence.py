@@ -1,0 +1,207 @@
+"""Determinism and fast/slow-path equivalence of the benchmark grid.
+
+The engine's zero-delay FIFO fast path and the harness's snapshot-restore
+grid are performance features: they must not change a single simulated
+digit.  These tests pin that down:
+
+* identical ``RunResult.row()`` (and raw latency samples) across repeated
+  runs of one cell at a fixed seed;
+* identical rows between the fast engine and the reference heap-only
+  engine (``REPRO_SIM_SLOW=1``);
+* identical rows between a serial grid and a forked parallel grid;
+* validated ``REPRO_BENCH_*`` environment overrides (ConfigError naming
+  the variable, never a bare ValueError).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.bench import CellSpec, clear_setup_caches, run_cell, run_grid
+from repro.bench.harness import _env_int
+from repro.bench.perftrack import PerfTracker, compare
+from repro.errors import ConfigError
+
+TINY = dict(num_keys=900, ops=120, workers=6, warmup_ops_per_cn=60)
+
+CELLS = [
+    CellSpec(system="Sphinx", dataset="u64", workload="LOAD", **TINY),
+    CellSpec(system="Sphinx", dataset="u64", workload="A", **TINY),
+    CellSpec(system="ART", dataset="u64", workload="C", **TINY),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_snapshots():
+    clear_setup_caches()
+    yield
+    clear_setup_caches()
+
+
+# -- determinism -----------------------------------------------------------
+
+def test_run_cell_bit_identical_across_repeats():
+    first = run_cell(CELLS[1])
+    second = run_cell(CELLS[1])
+    assert first.row() == second.row()
+    assert first.sim_ns == second.sim_ns
+    assert first.latency.samples == second.latency.samples
+    assert first.op_stats.round_trips == second.op_stats.round_trips
+    assert first.op_stats.messages == second.op_stats.messages
+
+
+def test_run_cell_independent_of_prior_cells():
+    """A cell's result must not depend on which cells ran before it."""
+    alone = run_cell(CELLS[2])
+    clear_setup_caches()
+    for cell in CELLS[:2]:
+        run_cell(cell)
+    after_others = run_cell(CELLS[2])
+    assert alone.row() == after_others.row()
+    assert alone.latency.samples == after_others.latency.samples
+
+
+def test_seed_changes_results():
+    base = run_cell(CELLS[1])
+    reseeded = run_cell(CellSpec(system="Sphinx", dataset="u64",
+                                 workload="A", seed=7, **TINY))
+    assert base.latency.samples != reseeded.latency.samples
+
+
+# -- fast engine vs reference heap engine ---------------------------------
+
+def test_fast_engine_matches_slow_reference(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_SLOW", raising=False)
+    fast = [r.row() for r in run_grid(CELLS)]
+    fast_samples = None
+    clear_setup_caches()
+    monkeypatch.setenv("REPRO_SIM_SLOW", "1")
+    slow_results = run_grid(CELLS)
+    slow = [r.row() for r in slow_results]
+    assert fast == slow
+    # Spot-check beyond the row summary: the full latency distribution.
+    clear_setup_caches()
+    monkeypatch.delenv("REPRO_SIM_SLOW")
+    fast_samples = run_cell(CELLS[0]).latency.samples
+    clear_setup_caches()
+    monkeypatch.setenv("REPRO_SIM_SLOW", "1")
+    assert run_cell(CELLS[0]).latency.samples == fast_samples
+
+
+# -- serial vs parallel grid ----------------------------------------------
+
+def test_serial_and_parallel_grids_identical():
+    serial = run_grid(CELLS, parallel=0)
+    parallel = run_grid(CELLS, parallel=2)
+    assert [r.row() for r in serial] == [r.row() for r in parallel]
+    for s, p in zip(serial, parallel):
+        assert s.latency.samples == p.latency.samples
+        assert s.perf is not None and p.perf is not None
+
+
+def test_datasets_identical_across_processes():
+    """Dataset construction must not depend on PYTHONHASHSEED.
+
+    ``make_email_dataset`` collects unique keys in a str set; iterating
+    that set follows the per-process hash seed, so without the explicit
+    sort every process would build a differently-ordered dataset (and
+    thus different trees and different measured numbers).  Run the same
+    tiny build under three hash seeds and demand one unique digest.
+    """
+    script = (
+        "import hashlib\n"
+        "from repro.ycsb.datasets import make_dataset\n"
+        "for name in ('u64', 'email'):\n"
+        "    d = make_dataset(name, 400, seed=2, insert_pool=100)\n"
+        "    h = hashlib.sha256(b''.join(d.keys + d.insert_pool))\n"
+        "    print(name, h.hexdigest())\n"
+    )
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    outputs = set()
+    for hash_seed in ("0", "1", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src_dir)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1, f"hash-seed-dependent datasets: {outputs}"
+
+
+# -- environment override validation --------------------------------------
+
+def test_env_int_accepts_valid_values(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_KEYS", "15000")
+    assert _env_int("REPRO_BENCH_KEYS", 60_000) == 15_000
+    monkeypatch.delenv("REPRO_BENCH_KEYS")
+    assert _env_int("REPRO_BENCH_KEYS", 60_000) == 60_000
+    monkeypatch.setenv("REPRO_BENCH_KEYS", "  ")
+    assert _env_int("REPRO_BENCH_KEYS", 60_000) == 60_000
+
+
+@pytest.mark.parametrize("name", ["REPRO_BENCH_KEYS", "REPRO_BENCH_OPS",
+                                  "REPRO_BENCH_WORKERS"])
+def test_env_int_rejects_garbage(monkeypatch, name):
+    monkeypatch.setenv(name, "lots")
+    with pytest.raises(ConfigError, match=name):
+        _env_int(name, 100)
+
+
+def test_env_int_rejects_out_of_range(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")
+    with pytest.raises(ConfigError, match="REPRO_BENCH_WORKERS"):
+        _env_int("REPRO_BENCH_WORKERS", 192)
+    monkeypatch.setenv("REPRO_BENCH_PARALLEL", "-2")
+    with pytest.raises(ConfigError, match="REPRO_BENCH_PARALLEL"):
+        _env_int("REPRO_BENCH_PARALLEL", 0, minimum=0)
+
+
+# -- perftrack -------------------------------------------------------------
+
+def test_perf_records_and_report(tmp_path):
+    tracker = PerfTracker()
+    result = run_cell(CELLS[1])
+    tracker.add(result)
+    report = tracker.report()
+    assert report["schema"] == "BENCH_2"
+    assert len(report["cells"]) == 1
+    cell = report["cells"][0]
+    assert cell["system"] == "Sphinx" and cell["workload"] == "A"
+    assert cell["wall_s"] > 0 and cell["events"] > 0
+    assert cell["sim_ns"] == result.sim_ns
+    path = tmp_path / "BENCH_2.json"
+    tracker.write(str(path))
+    assert json.loads(path.read_text())["total_wall_s"] == \
+        report["total_wall_s"]
+
+
+def _report(wall_by_cell):
+    cells = [{"system": s, "dataset": "u64", "workload": w, "workers": 6,
+              "ops": 120, "wall_s": wall, "events": 1000}
+             for (s, w), wall in wall_by_cell.items()]
+    return {"schema": "BENCH_2",
+            "total_wall_s": round(sum(c["wall_s"] for c in cells), 3),
+            "cells": cells}
+
+
+def test_compare_flags_total_regression():
+    base = _report({("Sphinx", "A"): 1.0, ("ART", "C"): 1.0})
+    same = _report({("Sphinx", "A"): 1.05, ("ART", "C"): 1.0})
+    messages, failed = compare(same, base, threshold=0.2)
+    assert not failed
+    regressed = _report({("Sphinx", "A"): 2.0, ("ART", "C"): 1.0})
+    messages, failed = compare(regressed, base, threshold=0.2)
+    assert failed
+    assert any("Sphinx/u64/A" in m for m in messages)
+
+
+def test_compare_tolerates_new_cells():
+    base = _report({("Sphinx", "A"): 1.0})
+    cur = _report({("Sphinx", "A"): 1.0, ("ART", "C"): 9.0})
+    # New cells have no baseline: reported in the total, never per-cell.
+    messages, failed = compare(cur, base, threshold=0.2)
+    assert failed  # total did balloon
+    assert not any("ART" in m for m in messages if "cell" in m)
