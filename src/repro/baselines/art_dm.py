@@ -14,12 +14,13 @@ from typing import Dict
 
 from ..dm.cluster import Cluster
 from ..core.remote_art import RemoteArtTree
+from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 
 
 @dataclass(frozen=True)
 class ArtDmConfig:
-    max_retries: int = 64
-    backoff_ns: int = 2_000
+    retry: RetryPolicy = DEFAULT_RETRY
+    """The unified retry/backoff/timeout policy (see repro.fault.retry)."""
 
 
 class ArtDmIndex:
@@ -42,8 +43,7 @@ class ArtDmClient(RemoteArtTree):
 
     def __init__(self, index: ArtDmIndex, cn_id: int):
         super().__init__(index.cluster, index.root_addr,
-                         max_retries=index.config.max_retries,
-                         backoff_ns=index.config.backoff_ns)
+                         retry=index.config.retry)
         self.index = index
         self.cn_id = cn_id
         self.scan_batched = False  # no doorbell batching in the port

@@ -33,7 +33,9 @@ from ..core import leaf as leaf_ops
 from ..dm.cluster import Cluster
 from ..dm.memory import addr_mn, addr_offset
 from ..dm.rdma import Batch, CasOp, LocalCompute, ReadOp, WriteOp
-from ..errors import ConfigError, KeyCodecError, RetryLimitExceeded
+from ..errors import (ConfigError, InjectedFault, KeyCodecError,
+                      RetryLimitExceeded)
+from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 from ..util.bits import u64_to_bytes
 
 BPLUS_CATEGORY = "bplus_node"
@@ -80,8 +82,8 @@ class BplusConfig:
     order: int = 32
     """Maximum entries per node (fan-out)."""
 
-    max_retries: int = 64
-    backoff_ns: int = 2_000
+    retry: RetryPolicy = DEFAULT_RETRY
+    """The unified retry/backoff/timeout policy (see repro.fault.retry)."""
 
     @property
     def entry_size(self) -> int:
@@ -225,8 +227,7 @@ class BplusClient:
 
     # -- small helpers -----------------------------------------------------
     def _backoff(self, attempt: int) -> int:
-        ceiling = self.config.backoff_ns << min(attempt, 6)
-        return ceiling // 2 + self._rng.randrange(ceiling // 2 + 1)
+        return self.config.retry.backoff_delay(self._rng, attempt)
 
     def _read_node(self, addr: int):
         data = yield ReadOp(addr, self.config.node_size)
@@ -257,8 +258,11 @@ class BplusClient:
         """Op generator: value for ``key`` or None."""
         self.metrics["searches"] += 1
         key = self.index.pad_key(key)
-        for attempt in range(self.config.max_retries):
-            result = yield from self._search_once(key)
+        for attempt in range(self.config.retry.max_retries):
+            try:
+                result = yield from self._search_once(key)
+            except InjectedFault:
+                result = _RETRY
             if result is not _RETRY:
                 return result
             self.metrics["restarts"] += 1
@@ -301,8 +305,11 @@ class BplusClient:
             raise ConfigError(
                 "bplus value blobs are fixed at 128 B: value too large")
         key = self.index.pad_key(key)
-        for attempt in range(self.config.max_retries):
-            result = yield from self._insert_once(key, value)
+        for attempt in range(self.config.retry.max_retries):
+            try:
+                result = yield from self._insert_once(key, value)
+            except InjectedFault:
+                result = _RETRY
             if result is not _RETRY:
                 return result
             self.metrics["restarts"] += 1
@@ -314,8 +321,11 @@ class BplusClient:
         """Op generator: overwrite; False when absent."""
         self.metrics["updates"] += 1
         padded = self.index.pad_key(key)
-        for attempt in range(self.config.max_retries):
-            result = yield from self._search_once(padded)
+        for attempt in range(self.config.retry.max_retries):
+            try:
+                result = yield from self._search_once(padded)
+            except InjectedFault:
+                result = _RETRY
             if result is _RETRY:
                 yield LocalCompute(self._backoff(attempt))
                 continue
@@ -463,9 +473,17 @@ class BplusClient:
     def scan_count(self, start_key: bytes, count: int):
         """First ``count`` pairs with key >= start_key (best effort)."""
         start = self.index.pad_key(start_key)
-        results: List[Tuple[bytes, bytes]] = []
-        yield from self._scan_node_ptr(None, start, count, results)
-        return results[:count]
+        for attempt in range(self.config.retry.max_retries):
+            results: List[Tuple[bytes, bytes]] = []
+            try:
+                yield from self._scan_node_ptr(None, start, count, results)
+            except InjectedFault:
+                self.metrics["restarts"] += 1
+                yield LocalCompute(self._backoff(attempt))
+                continue
+            return results[:count]
+        raise RetryLimitExceeded(f"bplus scan({start_key!r})",
+                                 addr=self.index.root_ptr_addr)
 
     def _scan_node_ptr(self, addr: Optional[int], start: bytes, count: int,
                        results: List[Tuple[bytes, bytes]]):

@@ -28,6 +28,7 @@ from ..art.layout import NODE256, STATUS_INVALID, NodeView
 from ..core.remote_art import RETRY, OpContext, RemoteArtTree
 from ..dm.cluster import Cluster
 from ..errors import ReproError
+from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 from ..util.hashing import prefix_hash42
 from .cache import NodeCache
 
@@ -37,8 +38,8 @@ class SmartConfig:
     cache_budget_bytes: int = 20 << 20
     """CN-side node-cache budget (paper: 20 MB, 200 MB for SMART+C)."""
 
-    max_retries: int = 64
-    backoff_ns: int = 2_000
+    retry: RetryPolicy = DEFAULT_RETRY
+    """The unified retry/backoff/timeout policy (see repro.fault.retry)."""
 
 
 class SmartIndex:
@@ -61,8 +62,7 @@ class SmartClient(RemoteArtTree):
 
     def __init__(self, index: SmartIndex, cn_id: int):
         super().__init__(index.cluster, index.root_addr,
-                         max_retries=index.config.max_retries,
-                         backoff_ns=index.config.backoff_ns)
+                         retry=index.config.retry)
         self.index = index
         self.cn_id = cn_id
         self.cache = NodeCache(index.config.cache_budget_bytes)

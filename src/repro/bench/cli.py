@@ -16,6 +16,11 @@ Perf knobs: ``--parallel N`` fans grid cells over N forked processes
 (rows stay bit-identical to a serial run); ``--perf-out BENCH_2.json``
 writes host-side perf per cell; ``--compare baseline.json`` exits
 nonzero on a wall-clock regression past 20 %.
+
+Chaos mode: ``--chaos`` attaches the deterministic
+``FaultPlan.chaos(--chaos-seed)`` fault mix to every fig4/fig5 cell and
+reports goodput (successful ops/s) next to raw throughput.  ``--workloads
+A,C`` and ``--systems Sphinx,ART`` narrow the grid.
 """
 
 from __future__ import annotations
@@ -31,15 +36,17 @@ from .figures import (
     ablation_fingerprint_bits,
     ablation_hotness,
     ablation_scan_batching,
+    FIG4_WORKLOADS,
     fig4_ycsb,
     fig5_scalability,
     fig6_memory,
+    render_chaos,
     render_fig4,
     render_fig5,
     render_fig6,
 )
 from .harness import DEFAULT_KEYS, DEFAULT_OPS, DEFAULT_PARALLEL, \
-    DEFAULT_WORKERS
+    DEFAULT_WORKERS, SYSTEMS
 from .perftrack import TRACKER, compare, load_report
 from .reporting import banner, format_table
 
@@ -70,19 +77,47 @@ def main(argv=None) -> int:
     parser.add_argument("--compare", metavar="BASELINE",
                         help="diff perf against a baseline BENCH_2.json; "
                              "exit 1 on >20%% total wall regression")
+    parser.add_argument("--chaos", action="store_true",
+                        help="attach FaultPlan.chaos(--chaos-seed) to every "
+                             "fig4/fig5 cell and report goodput")
+    parser.add_argument("--chaos-seed", type=int, default=42,
+                        help="seed of the chaos fault plan (default 42)")
+    parser.add_argument("--workloads", metavar="LIST",
+                        help="comma-separated fig4 workload subset "
+                             "(e.g. A,C; default LOAD,A-E)")
+    parser.add_argument("--systems", metavar="LIST",
+                        help="comma-separated system subset "
+                             "(e.g. Sphinx,ART; default all four)")
     args = parser.parse_args(argv)
     datasets = ["u64", "email"] if args.dataset == "both" else [args.dataset]
+    workloads = tuple(args.workloads.split(",")) if args.workloads \
+        else FIG4_WORKLOADS
+    for name in workloads:
+        if name not in FIG4_WORKLOADS:
+            parser.error(f"unknown workload {name!r}")
+    systems = tuple(args.systems.split(",")) if args.systems else SYSTEMS
+    for name in systems:
+        if name not in SYSTEMS + ("Sphinx-NoFilter",):
+            parser.error(f"unknown system {name!r}")
+    chaos_seed = args.chaos_seed if args.chaos else None
 
     if args.figure in ("fig4", "all"):
         for dataset in datasets:
-            print(render_fig4(fig4_ycsb(dataset, num_keys=args.keys,
-                                        ops=args.ops, workers=args.workers,
-                                        parallel=args.parallel)))
+            fig4 = fig4_ycsb(dataset, num_keys=args.keys,
+                             ops=args.ops, workers=args.workers,
+                             systems=systems, parallel=args.parallel,
+                             workloads=workloads, chaos_seed=chaos_seed)
+            if args.chaos:
+                print(render_chaos(fig4, args.chaos_seed))
+            else:
+                print(render_fig4(fig4))
     if args.figure in ("fig5", "all"):
         for dataset in datasets:
             print(render_fig5(fig5_scalability(dataset, num_keys=args.keys,
                                                ops=args.ops,
-                                               parallel=args.parallel)))
+                                               systems=systems,
+                                               parallel=args.parallel,
+                                               chaos_seed=chaos_seed)))
     if args.figure in ("fig6", "all"):
         print(render_fig6(fig6_memory(num_keys=args.keys)))
     if args.figure in ("ablations", "all"):

@@ -57,7 +57,9 @@ class Fig4Result:
 def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
               ops: int = DEFAULT_OPS, workers: int = DEFAULT_WORKERS,
               systems=SYSTEMS, scan_ops: Optional[int] = None,
-              parallel: Optional[int] = None) -> Fig4Result:
+              parallel: Optional[int] = None,
+              workloads=FIG4_WORKLOADS,
+              chaos_seed: Optional[int] = None) -> Fig4Result:
     """The YCSB throughput grid (paper Fig 4, one dataset).
 
     Per system: the dataset is bulk-loaded untimed once; every workload
@@ -65,6 +67,10 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
     pristine copy of that loaded, cache-warmed state, so each cell is an
     independent measurement and the grid can run in any order or in
     parallel without changing a digit.
+
+    ``chaos_seed`` attaches a :func:`repro.fault.FaultPlan.chaos` plan to
+    every cell's private cluster copy; the rows then also carry goodput
+    and fault counters (``--chaos`` mode).
     """
     result = Fig4Result(dataset_name)
     if scan_ops is None:
@@ -81,11 +87,16 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
                  workload=workload_name, num_keys=num_keys,
                  ops=scan_ops if workload_name == "E" else ops,
                  workers=scan_workers if workload_name == "E" else workers,
-                 seed=0)
-        for system in systems for workload_name in FIG4_WORKLOADS
+                 seed=0, chaos_seed=chaos_seed)
+        for system in systems for workload_name in workloads
     ]
     for run in run_grid(cells, parallel):
-        result.rows.append(run.row())
+        row = run.row()
+        if chaos_seed is not None:
+            row["goodput_mops"] = round(run.goodput_mops, 4)
+            row["failed_ops"] = run.failed_ops
+            row["faults_injected"] = sum(run.faults.values())
+        result.rows.append(row)
     return result
 
 
@@ -94,17 +105,36 @@ def render_fig4(result: Fig4Result) -> str:
                               if any(r["system"] == s for r in result.rows)]
     systems = [s for s in SYSTEMS
                if any(r["system"] == s for r in result.rows)]
+    workloads = [w for w in FIG4_WORKLOADS
+                 if any(r["workload"] == w for r in result.rows)]
     rows = []
-    for workload_name in FIG4_WORKLOADS:
+    for workload_name in workloads:
         row = [workload_name]
         for system in systems:
             row.append(mops(result.throughput(system, workload_name)))
         rows.append(row)
     out = [banner(f"Fig 4 - YCSB throughput, {result.dataset} dataset"),
            format_table(headers, rows)]
-    for workload_name in FIG4_WORKLOADS:
+    for workload_name in workloads:
         out.append(f"Sphinx speedup on {workload_name}: "
                    f"{result.speedups(workload_name)}")
+    return "\n".join(out)
+
+
+def render_chaos(result: Fig4Result, chaos_seed: int) -> str:
+    """Goodput-under-faults table for a chaos-mode fig4 grid."""
+    headers = ["system", "workload", "Mops", "goodput Mops", "failed",
+               "faults"]
+    rows = [[r["system"], r["workload"], mops(r["throughput_mops"]),
+             mops(r["goodput_mops"]), r["failed_ops"], r["faults_injected"]]
+            for r in result.rows]
+    out = [banner(f"Chaos - YCSB goodput under FaultPlan.chaos"
+                  f"(seed={chaos_seed}), {result.dataset} dataset"),
+           format_table(headers, rows)]
+    total_ops = sum(r["ops"] for r in result.rows)
+    total_failed = sum(r["failed_ops"] for r in result.rows)
+    out.append(f"clean-failure rate: {total_failed}/{total_ops} ops "
+               f"({100 * total_failed / max(total_ops, 1):.2f}%)")
     return "\n".join(out)
 
 
@@ -132,16 +162,23 @@ class Fig5Result:
 def fig5_scalability(dataset_name: str, num_keys: int = DEFAULT_KEYS,
                      ops: int = DEFAULT_OPS, systems=SYSTEMS,
                      worker_counts=FIG5_WORKERS,
-                     parallel: Optional[int] = None) -> Fig5Result:
+                     parallel: Optional[int] = None,
+                     chaos_seed: Optional[int] = None) -> Fig5Result:
     """Throughput-latency curves for YCSB-A (paper Fig 5, one dataset)."""
     result = Fig5Result(dataset_name)
     cells = [
         CellSpec(system=system, dataset=dataset_name, workload="A",
-                 num_keys=num_keys, ops=ops, workers=workers, seed=workers)
+                 num_keys=num_keys, ops=ops, workers=workers, seed=workers,
+                 chaos_seed=chaos_seed)
         for system in systems for workers in worker_counts
     ]
     for run in run_grid(cells, parallel):
-        result.rows.append(run.row())
+        row = run.row()
+        if chaos_seed is not None:
+            row["goodput_mops"] = round(run.goodput_mops, 4)
+            row["failed_ops"] = run.failed_ops
+            row["faults_injected"] = sum(run.faults.values())
+        result.rows.append(row)
     return result
 
 

@@ -168,6 +168,11 @@ class CellSpec:
     seed: int = 0
     insert_fraction: float = 0.3
     warmup_ops_per_cn: Optional[int] = None
+    chaos_seed: Optional[int] = None
+    """When set, a ``FaultPlan.chaos(chaos_seed)`` is attached to the
+    cell's private cluster copy right before the timed run.  Loading and
+    warming stay fault-free (and snapshot-shareable with non-chaos
+    cells): the seed is deliberately absent from load_key()/warm_key()."""
 
     def resolved_warmup(self) -> int:
         if self.warmup_ops_per_cn is not None:
@@ -257,6 +262,9 @@ def run_cell(cell: CellSpec) -> RunResult:
     """
     wall_start = time.perf_counter()
     live = copy.deepcopy(_warmed_setup(cell))
+    if cell.chaos_seed is not None:
+        from ..fault import FaultPlan
+        live.cluster.attach_faults(FaultPlan.chaos(cell.chaos_seed))
     engine = live.cluster.engine
     events_before = engine.events_processed
     result = run_workload(live.cluster, live.index, workload(cell.workload),

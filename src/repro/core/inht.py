@@ -72,12 +72,14 @@ class InhtClient:
     and routes every prefix to the MN that owns it.
     """
 
-    def __init__(self, cluster: Cluster, inht: InnerNodeHashTable):
+    def __init__(self, cluster: Cluster, inht: InnerNodeHashTable,
+                 retry=None):
         self._placement = cluster.placement
         self._clients: Dict[int, RaceClient] = {}
         for mn, info in inht.tables.items():
             self._clients[mn] = RaceClient(
-                info, _SegmentAllocator(cluster, mn, info.params))
+                info, _SegmentAllocator(cluster, mn, info.params),
+                retry=retry)
 
     def _client_for(self, prefix: bytes) -> RaceClient:
         return self._clients[self._placement.mn_for_prefix(prefix)]

@@ -53,7 +53,8 @@ from ..art.layout import (
 from ..dm.cluster import Cluster
 from ..dm.memory import addr_mn, format_addr
 from ..dm.rdma import Batch, CasOp, LocalCompute, ReadOp, WriteOp
-from ..errors import ReproError, RetryLimitExceeded
+from ..errors import InjectedFault, ReproError, RetryLimitExceeded
+from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 from ..util.bits import u64_to_bytes
 from ..util.hashing import prefix_hash42
 from . import leaf as leaf_ops
@@ -85,6 +86,7 @@ class TreeMetrics:
     scans: int = 0
     op_restarts: int = 0
     fp_restarts: int = 0
+    fault_restarts: int = 0  # restarts caused by injected faults
     lock_failures: int = 0
     leaf_splits: int = 0
     edge_splits: int = 0
@@ -142,11 +144,11 @@ class RemoteArtTree:
     """Base class: a client of a remote ART living in MN memory."""
 
     def __init__(self, cluster: Cluster, root_addr: int,
-                 max_retries: int = 64, backoff_ns: int = 2_000):
+                 retry: RetryPolicy | None = None):
         self.cluster = cluster
         self.root_addr = root_addr
-        self.max_retries = max_retries
-        self.backoff_ns = backoff_ns
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.retry.validate()
         self.metrics = TreeMetrics()
         self.scan_batched = True
         import random as _random
@@ -154,11 +156,18 @@ class RemoteArtTree:
         # the jitter stream to process history (see Cluster.next_seed).
         self._backoff_rng = _random.Random(cluster.next_seed(0xBACC0FF))
 
+    @property
+    def max_retries(self) -> int:
+        return self.retry.max_retries
+
+    @property
+    def backoff_ns(self) -> int:
+        return self.retry.backoff_ns
+
     def _backoff_delay(self, attempt: int) -> int:
         """Exponential backoff with jitter (hot zipfian keys put many
         writers on one leaf lock; jitter breaks the retry convoy)."""
-        ceiling = self.backoff_ns << min(attempt, 6)
-        return ceiling // 2 + self._backoff_rng.randrange(ceiling // 2 + 1)
+        return self.retry.backoff_delay(self._backoff_rng, attempt)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -289,15 +298,32 @@ class RemoteArtTree:
     # Retry harness
     # ------------------------------------------------------------------
     def _run(self, once, ctx: OpContext, op_name: str):
-        for attempt in range(self.max_retries):
+        retry = self.retry
+        deadline = None
+        if retry.op_timeout_ns:
+            deadline = self.cluster.engine.now + retry.op_timeout_ns
+        for attempt in range(retry.max_retries):
             ctx.attempt = attempt
-            result = yield from once(ctx)
-            if result is not RETRY:
-                return result
-            self.metrics.op_restarts += 1
+            try:
+                result = yield from once(ctx)
+            except InjectedFault:
+                # A lost completion / NAK surfaced mid-attempt: any
+                # partially applied state is handled by the normal
+                # validation on the next descent.
+                self.metrics.fault_restarts += 1
+                result = RETRY
+            else:
+                if result is not RETRY:
+                    return result
+                self.metrics.op_restarts += 1
             yield LocalCompute(self._backoff_delay(attempt))
+            if deadline is not None and self.cluster.engine.now >= deadline:
+                raise RetryLimitExceeded(
+                    f"{op_name}({ctx.key!r}) timed out after "
+                    f"{retry.op_timeout_ns} ns of retries",
+                    addr=self.root_addr)
         raise RetryLimitExceeded(
-            f"{op_name}({ctx.key!r}) exceeded {self.max_retries} retries",
+            f"{op_name}({ctx.key!r}) exceeded {retry.max_retries} retries",
             addr=self.root_addr)
 
     # ------------------------------------------------------------------
@@ -1080,6 +1106,12 @@ class RemoteArtTree:
         plain ART port issues every read sequentially.
         """
         self.metrics.scans += 1
+        result = yield from self._run_scan(
+            lambda: self._scan_count_once(start_key, count),
+            f"scan_count({start_key!r})")
+        return result
+
+    def _scan_count_once(self, start_key: bytes, count: int):
         state = _ScanState(start_key=start_key, count=count, hi=None)
         root = yield from self._read_node(self.root_addr, NODE256)
         if root is None:
@@ -1091,6 +1123,11 @@ class RemoteArtTree:
     def scan_range(self, lo: bytes, hi: bytes):
         """Op generator: all pairs with lo <= key <= hi."""
         self.metrics.scans += 1
+        result = yield from self._run_scan(
+            lambda: self._scan_range_once(lo, hi), f"scan_range({lo!r})")
+        return result
+
+    def _scan_range_once(self, lo: bytes, hi: bytes):
         state = _ScanState(start_key=lo, count=None, hi=hi)
         root = yield from self._read_node(self.root_addr, NODE256)
         if root is None:
@@ -1098,6 +1135,22 @@ class RemoteArtTree:
         yield from self._scan_rec(root, b"", state, True)
         yield from self._flush_leaves(state)
         return state.results
+
+    def _run_scan(self, once, op_name: str):
+        """Whole-scan retry harness: scans are read-only, so an injected
+        fault mid-traversal simply restarts the scan from the root."""
+        retry = self.retry
+        for attempt in range(retry.max_retries):
+            try:
+                result = yield from once()
+            except InjectedFault:
+                self.metrics.fault_restarts += 1
+                yield LocalCompute(self._backoff_delay(attempt))
+                continue
+            return result
+        raise RetryLimitExceeded(
+            f"{op_name} exceeded {retry.max_retries} retries under faults",
+            addr=self.root_addr)
 
     def _flush_leaves(self, state: "_ScanState"):
         """Fetch and filter the buffered leaf slots (one doorbell batch

@@ -26,7 +26,8 @@ from typing import Dict, List, Tuple
 from ..art.layout import NODE256, STATUS_INVALID, decode_node, node_size
 from ..dm.cluster import Cluster
 from ..dm.rdma import Batch, LocalCompute, ReadOp
-from ..errors import ReproError, RetryLimitExceeded
+from ..errors import InjectedFault, ReproError, RetryLimitExceeded
+from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 from ..filters.hotness import SuccinctFilterCache
 from ..race.layout import TableParams
 from ..util.hashing import prefix_hash42
@@ -56,8 +57,8 @@ class SphinxConfig:
     at the default); the fp2 scheme allows up to 12."""
     table_seed: int = 0xD15C0
 
-    max_retries: int = 64
-    backoff_ns: int = 2_000
+    retry: RetryPolicy = DEFAULT_RETRY
+    """The unified retry/backoff/timeout policy (see repro.fault.retry)."""
 
     filter_probe_ns: int = 0
     """Optional CN CPU cost charged per local filter probe sweep."""
@@ -143,15 +144,15 @@ class SphinxClient(RemoteArtTree):
     def __init__(self, index: SphinxIndex, cn_id: int):
         config = index.config
         super().__init__(index.cluster, index.root_addr,
-                         max_retries=config.max_retries,
-                         backoff_ns=config.backoff_ns)
+                         retry=config.retry)
         self.index = index
         self.cn_id = cn_id
         self.config = config
         self.filter = SuccinctFilterCache(
             config.filter_budget_bytes, fp_bits=config.filter_fp_bits,
             bucket_slots=config.filter_bucket_slots)
-        self.inht = InhtClient(index.cluster, index.inht)
+        self.inht = InhtClient(index.cluster, index.inht,
+                               retry=config.retry)
         self.multi_candidate_lookups = 0
         """How often an INHT bucket held >1 fp2-matching entry (the paper
         cites MemC3: typically one candidate)."""
@@ -203,9 +204,10 @@ class SphinxClient(RemoteArtTree):
                 continue
             try:
                 found = yield from self._fetch_via_inht(prefix, depth)
-            except RetryLimitExceeded:
+            except (RetryLimitExceeded, InjectedFault):
                 # An INHT bucket stuck behind an abandoned segment-split
-                # lock must not take searches down with it: the tree is
+                # lock (or an injected fabric fault on the INHT path)
+                # must not take searches down with it: the tree is
                 # still intact, so degrade to root traversal.
                 self.inht_fallbacks += 1
                 break

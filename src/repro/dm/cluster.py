@@ -66,6 +66,7 @@ class Cluster:
             list(self.memories), vnodes=self.config.ring_vnodes,
             seed=self.config.placement_seed)
         self.monitor = None        # optional DMSan AccessMonitor
+        self.injector = None       # optional repro.fault FaultInjector
         self._client_seq = 0
         self._seed_seq = 0
 
@@ -88,6 +89,21 @@ class Cluster:
         monitor = AccessMonitor(config)
         self.attach_monitor(monitor)
         return monitor
+
+    # -- fault injection ---------------------------------------------------
+    def attach_faults(self, plan):
+        """Bind a :class:`repro.fault.FaultPlan` to this cluster and
+        return the live :class:`repro.fault.FaultInjector`.
+
+        Mirrors :meth:`attach_monitor`: executors created *after* this
+        call consult the injector on every verb; executors created
+        before it are untouched.  Attach after bulk loading so the
+        loaded image is fault-free and snapshot-shareable.
+        """
+        from ..fault import FaultInjector  # local import: fault uses dm
+        injector = FaultInjector(plan, self.memories)
+        self.injector = injector
+        return injector
 
     def _next_client_id(self, prefix: str) -> str:
         self._client_seq += 1
@@ -133,7 +149,8 @@ class Cluster:
         return DirectExecutor(self.memories, stats,
                               monitor=self.monitor,
                               client_id=self._next_client_id("direct"),
-                              clock=lambda: self.engine.now)
+                              clock=lambda: self.engine.now,
+                              injector=self.injector)
 
     def sim_executor(self, cn_id: int,
                      stats: OpStats | None = None) -> SimExecutor:
@@ -143,7 +160,8 @@ class Cluster:
                            self.cn_nics[cn_id], self.mn_nics,
                            self.config.network, stats,
                            monitor=self.monitor,
-                           client_id=self._next_client_id(f"cn{cn_id}"))
+                           client_id=self._next_client_id(f"cn{cn_id}"),
+                           injector=self.injector)
 
     # -- accounting --------------------------------------------------------
     def mn_bytes_by_category(self) -> Dict[str, int]:

@@ -26,7 +26,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Generator, Mapping, Optional, Sequence, \
     Tuple, Union
 
-from ..errors import RetryLimitExceeded, SimulationError
+from ..errors import InjectedFault, RetryLimitExceeded, SimulationError
 from .memory import Memory, addr_mn, addr_offset
 from .network import Nic
 
@@ -111,6 +111,7 @@ class OpStats:
     bytes_written: int = 0
     batches: int = 0
     local_compute_ns: int = 0
+    faults_injected: int = 0  # verbs perturbed by an attached FaultPlan
 
     def count_verb(self, op: Verb) -> None:
         # Exact-class dispatch: the verb set is closed (no subclassing),
@@ -184,12 +185,23 @@ class DirectExecutor:
     def __init__(self, memories: Mapping[int, Memory],
                  stats: OpStats | None = None, *,
                  monitor=None, client_id: str = "direct",
-                 clock: Optional[Callable[[], int]] = None):
+                 clock: Optional[Callable[[], int]] = None,
+                 injector=None):
         self._memories = memories
         self.stats = stats if stats is not None else OpStats()
         self.monitor = monitor
         self.client_id = client_id
         self._clock = clock if clock is not None else (lambda: 0)
+        self._injector = injector
+        self._apply_entry = self._apply if injector is None \
+            else self._apply_faulted
+        self._budget = 0  # message ceiling armed by arm_verb_budget
+
+    def arm_verb_budget(self, extra_messages: int) -> None:
+        """Fail with SimulationError once ``stats.messages`` exceeds its
+        current value plus ``extra_messages`` - the chaos suite's
+        livelock bound ("never a hang")."""
+        self._budget = self.stats.messages + extra_messages
 
     def _apply(self, verb: Verb) -> Any:
         monitor = self.monitor
@@ -202,7 +214,44 @@ class DirectExecutor:
         monitor.on_complete(token, now)
         return result
 
+    def _apply_faulted(self, verb: Verb) -> Any:
+        """The injector-aware verb path (only bound when a FaultPlan is
+        attached, so the clean path stays untouched)."""
+        injector = self._injector
+        now = self._clock()
+        if not injector.address_ok(verb):
+            injector.record_nak(self.client_id, verb, now)
+            self.stats.faults_injected += 1
+            raise InjectedFault("NAK: unreachable address",
+                                kind="nak", addr=verb.addr)
+        decision = injector.decide(self.client_id, verb, now)
+        if decision is None:
+            return self._apply(verb)
+        self.stats.faults_injected += 1
+        kind = decision.kind
+        if kind == "drop":
+            if decision.applied:
+                self._apply(verb)  # side effect lands, completion lost
+            raise InjectedFault("completion dropped", kind="drop",
+                                addr=verb.addr, applied=decision.applied)
+        if kind == "delay":  # untimed executor: a delay is invisible
+            return self._apply(verb)
+        if kind == "duplicate":
+            result = self._apply(verb)
+            apply_verb(self._memories, verb)  # phantom retransmission
+            return result
+        if kind == "stale_cas":
+            result = self._apply(verb)
+            if verb.__class__ is CasOp and result[0]:
+                return (False, verb.expected)
+            return result
+        raise SimulationError(f"unknown fault decision {kind!r}")
+
     def execute(self, op: OpOrBatch) -> Any:
+        if self._budget and self.stats.messages > self._budget:
+            raise SimulationError(
+                f"verb budget exceeded for {self.client_id}: "
+                f"{self.stats.messages} messages - livelock under faults?")
         cls = op.__class__
         if cls is LocalCompute:
             self.stats.local_compute_ns += op.ns
@@ -211,26 +260,57 @@ class DirectExecutor:
             self.stats.batches += 1
             self.stats.round_trips += 1
             results = []
+            if self._injector is None:
+                for verb in op.ops:
+                    self.stats.count_verb(verb)
+                    results.append(self._apply(verb))
+                return results
+            # Doorbell under faults: every verb was posted, so surviving
+            # members still apply; the batch completion is lost if any
+            # member's completion is.
+            failure = None
             for verb in op.ops:
                 self.stats.count_verb(verb)
-                results.append(self._apply(verb))
+                try:
+                    results.append(self._apply_faulted(verb))
+                except InjectedFault as exc:
+                    failure = exc
+                    results.append(None)
+            if failure is not None:
+                raise failure
             return results
         self.stats.round_trips += 1
         self.stats.count_verb(op)
-        return self._apply(op)
+        return self._apply_entry(op)
 
     def run(self, gen: OpGenerator) -> Any:
-        """Drive ``gen`` to completion; returns its return value."""
+        """Drive ``gen`` to completion; returns its return value.
+
+        Injected faults are delivered *into* the client generator with
+        ``gen.throw`` - the client sees them at its ``yield``, exactly
+        where a real completion error would surface.
+        """
         result = None
+        pending: InjectedFault | None = None
         while True:
             try:
-                op = gen.send(result)
+                if pending is not None:
+                    exc, pending = pending, None
+                    op = gen.throw(exc)
+                else:
+                    op = gen.send(result)
             except StopIteration as stop:
                 return stop.value
             except RetryLimitExceeded as exc:
                 exc.attach_context(self.client_id, replace(self.stats))
+                if self._injector is not None:
+                    exc.attach_fault_trace(self._injector.trace_tuple())
                 raise
-            result = self.execute(op)
+            try:
+                result = self.execute(op)
+            except InjectedFault as exc:
+                pending = exc
+                result = None
 
 
 class SimExecutor:
@@ -243,7 +323,8 @@ class SimExecutor:
     def __init__(self, engine, memories: Mapping[int, Memory],
                  cn_nic: Nic, mn_nics: Mapping[int, Nic],
                  config, stats: OpStats | None = None, *,
-                 monitor=None, client_id: str = "sim"):
+                 monitor=None, client_id: str = "sim",
+                 injector=None):
         self.engine = engine
         self._memories = memories
         self._cn_nic = cn_nic
@@ -252,6 +333,14 @@ class SimExecutor:
         self.stats = stats if stats is not None else OpStats()
         self.monitor = monitor
         self.client_id = client_id
+        self._injector = injector
+        self._verb_entry = self._verb if injector is None \
+            else self._verb_faulted
+        self._budget = 0  # message ceiling armed by arm_verb_budget
+
+    def arm_verb_budget(self, extra_messages: int) -> None:
+        """See :meth:`DirectExecutor.arm_verb_budget`."""
+        self._budget = self.stats.messages + extra_messages
 
     # -- single verb ----------------------------------------------------
     def _verb(self, op: Verb):
@@ -284,6 +373,77 @@ class SimExecutor:
             monitor.on_complete(token, self.engine.now)
         return result
 
+    def _verb_faulted(self, op: Verb):
+        """Injector-aware timed verb path (only bound when a FaultPlan is
+        attached; the clean ``_verb`` path is byte-identical to before)."""
+        injector = self._injector
+        engine = self.engine
+        if self._budget and self.stats.messages > self._budget:
+            raise SimulationError(
+                f"verb budget exceeded for {self.client_id}: "
+                f"{self.stats.messages} messages - livelock under faults?")
+        if not injector.address_ok(op):
+            injector.record_nak(self.client_id, op, engine.now)
+            self.stats.count_verb(op)
+            self.stats.faults_injected += 1
+            req_bytes, _ = _verb_sizes(op)
+            yield self._cn_nic.process(req_bytes)
+            yield engine.timeout(injector.plan.timeout_ns)
+            raise InjectedFault("NAK: unreachable address",
+                                kind="nak", addr=op.addr)
+        decision = injector.decide(self.client_id, op, engine.now)
+        if decision is None:
+            result = yield from self._verb(op)
+            return result
+        self.stats.faults_injected += 1
+        kind = decision.kind
+        if kind == "delay":
+            result = yield from self._verb(op)
+            yield engine.timeout(decision.delay_ns)
+            return result
+        if kind == "duplicate":
+            result = yield from self._verb(op)
+            apply_verb(self._memories, op)  # phantom retransmission
+            return result
+        if kind == "stale_cas":
+            result = yield from self._verb(op)
+            if op.__class__ is CasOp and result[0]:
+                return (False, op.expected)
+            return result
+        if kind != "drop":  # pragma: no cover - decision set is closed
+            raise SimulationError(f"unknown fault decision {kind!r}")
+        cfg = self._config
+        req_bytes, _ = _verb_sizes(op)
+        self.stats.count_verb(op)
+        if not decision.applied:
+            # Request lost in the fabric: the MN never saw it.  Charge
+            # the send plus the client's completion timeout.
+            yield self._cn_nic.process(req_bytes)
+            yield engine.timeout(injector.plan.timeout_ns)
+            raise InjectedFault("request dropped", kind="drop",
+                                addr=op.addr, applied=False)
+        # Applied at the MN; the completion never arrives.  The monitor
+        # sees the full issue/apply/complete life cycle - the access
+        # happened - with completion at the client's timeout decision.
+        mn_nic = self._mn_nics[addr_mn(op.addr)]
+        cls = op.__class__
+        extra = cfg.atomic_extra_ns if (cls is CasOp or cls is FaaOp) else 0
+        monitor = self.monitor
+        token = None
+        if monitor is not None:
+            token = monitor.on_issue(self.client_id, op, engine.now)
+        yield self._cn_nic.process(req_bytes)
+        yield mn_nic.process(req_bytes, extra_ns=extra,
+                             arrive_delay=cfg.prop_ns)
+        result = apply_verb(self._memories, op)
+        if monitor is not None:
+            monitor.on_apply(token, engine.now, result)
+        yield engine.timeout(injector.plan.timeout_ns)
+        if monitor is not None:
+            monitor.on_complete(token, engine.now)
+        raise InjectedFault("completion dropped", kind="drop",
+                            addr=op.addr, applied=True)
+
     def _perform(self, op: OpOrBatch):
         cls = op.__class__
         if cls is LocalCompute:
@@ -293,24 +453,56 @@ class SimExecutor:
         if cls is Batch:
             self.stats.batches += 1
             self.stats.round_trips += 1
+            if self._injector is not None:
+                # Doorbell under faults: members run sequentially so a
+                # dropped completion can surface per member; surviving
+                # members still apply, the batch completion is lost if
+                # any member's completion is.
+                results = []
+                failure = None
+                for verb in op.ops:
+                    try:
+                        member = yield from self._verb_faulted(verb)
+                    except InjectedFault as exc:
+                        failure = exc
+                        member = None
+                    results.append(member)
+                if failure is not None:
+                    raise failure
+                return results
             procs = [self.engine.process(self._verb(verb), name="verb")
                      for verb in op.ops]
             results = yield self.engine.all_of(procs)
             return results
         self.stats.round_trips += 1
-        result = yield from self._verb(op)
+        result = yield from self._verb_entry(op)
         return result
 
     # -- generator driver -------------------------------------------------
     def run(self, gen: OpGenerator):
-        """Drive ``gen`` under the clock; yields engine events throughout."""
+        """Drive ``gen`` under the clock; yields engine events throughout.
+
+        Injected faults are delivered into the client generator with
+        ``gen.throw``, exactly like :meth:`DirectExecutor.run`.
+        """
         result = None
+        pending: InjectedFault | None = None
         while True:
             try:
-                op = gen.send(result)
+                if pending is not None:
+                    exc, pending = pending, None
+                    op = gen.throw(exc)
+                else:
+                    op = gen.send(result)
             except StopIteration as stop:
                 return stop.value
             except RetryLimitExceeded as exc:
                 exc.attach_context(self.client_id, replace(self.stats))
+                if self._injector is not None:
+                    exc.attach_fault_trace(self._injector.trace_tuple())
                 raise
-            result = yield from self._perform(op)
+            try:
+                result = yield from self._perform(op)
+            except InjectedFault as exc:
+                pending = exc
+                result = None

@@ -71,14 +71,34 @@ class DuplicateKey(IndexError_):
     """An insert-only operation found the key already present."""
 
 
+class InjectedFault(ReproError):
+    """A fault injected by :mod:`repro.fault` fired on a verb: the
+    completion was lost, the request NAK'd, or the reply forged.
+
+    Clients must treat this exactly like a failed/lost completion on real
+    hardware: back off and retry under their :class:`RetryPolicy`.  It
+    never escapes a correctly written client except wrapped in a
+    :class:`RetryLimitExceeded` after exhaustion.
+    """
+
+    def __init__(self, message: str, *, kind: str = "fault",
+                 addr: "int | None" = None, applied: bool = False):
+        super().__init__(message)
+        self.kind = kind        # fault-rule kind ("drop", "nak", ...)
+        self.addr = addr        # target global address, when known
+        self.applied = applied  # did the MN apply the side effect?
+
+
 class RetryLimitExceeded(IndexError_):
     """An optimistic operation exceeded its retry budget (indicates either a
-    pathological conflict rate or an index-corruption bug).
+    pathological conflict rate, an index-corruption bug, or - under
+    chaos testing - an unsurvivable injected-fault schedule).
 
     Carries enough context to correlate with sanitizer/fsck output: the
     contended address (when the raise site knows it) and, attached by the
-    executor that drove the generator, the client id and an
-    :class:`repro.dm.rdma.OpStats` snapshot at the moment of failure.
+    executor that drove the generator, the client id, an
+    :class:`repro.dm.rdma.OpStats` snapshot at the moment of failure, and
+    the recent injected-fault trace when a fault plan was active.
     """
 
     def __init__(self, message: str, *, addr: "int | None" = None):
@@ -87,6 +107,7 @@ class RetryLimitExceeded(IndexError_):
         self.addr = addr
         self.client: "str | None" = None
         self.stats = None  # OpStats snapshot, attached by the executor
+        self.fault_trace: tuple = ()  # recent FaultEvents, when injecting
 
     def attach_context(self, client, stats) -> None:
         """Called by the driving executor; first attachment wins (the
@@ -95,6 +116,12 @@ class RetryLimitExceeded(IndexError_):
             self.client = client
         if self.stats is None:
             self.stats = stats
+
+    def attach_fault_trace(self, trace) -> None:
+        """Called by an executor driving under an attached fault plan;
+        first attachment wins, like :meth:`attach_context`."""
+        if not self.fault_trace:
+            self.fault_trace = tuple(trace)
 
     def __str__(self) -> str:
         parts = [self.message]
@@ -111,6 +138,10 @@ class RetryLimitExceeded(IndexError_):
             parts.append(
                 f"stats[rt={s.round_trips} msg={s.messages} r={s.reads} "
                 f"w={s.writes} cas={s.cas} faa={s.faa}]")
+        if self.fault_trace:
+            last = self.fault_trace[-1]
+            parts.append(f"faults[n>={len(self.fault_trace)} "
+                         f"last={last.kind}:{last.verb}@seq{last.seq}]")
         return " ".join(parts)
 
 

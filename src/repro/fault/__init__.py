@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the disaggregated-memory fabric.
+
+``repro.fault`` is the chaos substrate: a seeded :class:`FaultPlan` of
+declarative rules (drop / delay / duplicate a verb's completion, fail a
+CAS with a stale snapshot, flip bits, blank an MN region, NIC brown-out
+windows) is attached to a cluster via ``Cluster.attach_faults(plan)``,
+mirroring ``attach_sanitizer``.  Executors created after the attach
+consult the resulting :class:`FaultInjector` on every verb, so Sphinx,
+SMART, RACE and B+ clients are all covered without per-index code.
+
+The package also owns :class:`RetryPolicy` - the one retry/backoff/
+timeout policy shared by every client - so containment behaviour is
+uniform: any injected fault surfaces to a client as
+:class:`repro.errors.InjectedFault`, is retried under the policy, and
+exhaustion raises :class:`repro.errors.RetryLimitExceeded` carrying the
+fault trace.
+"""
+
+from .inject import FaultEvent, FaultInjector
+from .plan import (
+    FaultPlan,
+    FaultRule,
+    brownout,
+    crash_mn,
+    delay,
+    drop,
+    duplicate,
+    flip,
+    poke,
+    stale_cas,
+)
+from .retry import DEFAULT_RETRY, RetryPolicy
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "brownout",
+    "crash_mn",
+    "delay",
+    "drop",
+    "duplicate",
+    "flip",
+    "poke",
+    "stale_cas",
+]

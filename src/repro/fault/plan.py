@@ -1,0 +1,199 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a seed plus an ordered tuple of
+:class:`FaultRule`.  Rules come in two flavours:
+
+* **Stochastic fabric rules** (``drop``, ``delay``, ``duplicate``,
+  ``stale_cas``, ``brownout``) are evaluated per verb by the injector's
+  seeded RNG; the first matching rule that fires decides the verb's fate.
+* **Scheduled environment rules** (``poke``, ``flip``, ``crash_mn`` with
+  ``at_verb`` set) fire exactly once, when the global verb sequence
+  number reaches ``at_verb``, and mutate memory-node bytes directly -
+  modelling corruption and node loss rather than fabric behaviour.
+
+Everything is frozen and value-like so plans can sit inside benchmark
+``CellSpec``s and be compared/hashed.  Plans never hold RNG state; the
+:class:`repro.fault.inject.FaultInjector` owns the single seeded stream,
+which is what makes a plan's schedule a pure function of
+``(seed, rules, verb stream)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+
+FABRIC_KINDS = ("drop", "delay", "duplicate", "stale_cas", "brownout")
+ENV_KINDS = ("poke", "flip", "crash_mn")
+VERB_KINDS = ("read", "write", "cas", "faa")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault.  Use the module-level constructors
+    (:func:`drop`, :func:`delay`, ...) rather than building directly."""
+
+    kind: str
+    prob: float = 0.0                       # stochastic rules
+    verbs: Optional[Tuple[str, ...]] = None  # None = all verb kinds
+    mn: Optional[int] = None                # None = any MN
+    applied_prob: float = 0.0               # drop: P(side effect applied)
+    delay_ns: int = 0                       # delay / brownout
+    start_ns: int = 0                       # matching window (sim time)
+    end_ns: Optional[int] = None
+    at_verb: Optional[int] = None           # scheduled env rules
+    addr: Optional[int] = None              # poke/flip target
+    data: bytes = b""                       # poke payload
+    xor: int = 0                            # flip mask (0 = random bit)
+    length: int = 1                         # flip span in bytes
+
+    def validate(self) -> None:
+        if self.kind in FABRIC_KINDS:
+            if not (0.0 <= self.prob <= 1.0):
+                raise ConfigError(f"{self.kind}: prob must be in [0, 1]")
+            if not (0.0 <= self.applied_prob <= 1.0):
+                raise ConfigError(
+                    f"{self.kind}: applied_prob must be in [0, 1]")
+        elif self.kind in ENV_KINDS:
+            if self.at_verb is None and self.prob == 0.0:
+                raise ConfigError(
+                    f"{self.kind}: needs at_verb (scheduled) or prob > 0")
+            if self.kind == "poke" and (self.addr is None or not self.data):
+                raise ConfigError("poke: needs addr and data")
+            if self.kind == "crash_mn" and self.mn is None:
+                raise ConfigError("crash_mn: needs mn")
+        else:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.verbs is not None:
+            for verb in self.verbs:
+                if verb not in VERB_KINDS:
+                    raise ConfigError(f"unknown verb kind {verb!r}")
+        if self.delay_ns < 0 or self.start_ns < 0 or self.length < 1:
+            raise ConfigError(f"{self.kind}: negative/zero-size field")
+        if self.end_ns is not None and self.end_ns <= self.start_ns:
+            raise ConfigError(f"{self.kind}: empty time window")
+
+
+# -- rule constructors ------------------------------------------------------
+
+def drop(prob: float, verbs: Optional[Tuple[str, ...]] = None, *,
+         applied_prob: float = 0.0, mn: Optional[int] = None,
+         start_ns: int = 0, end_ns: Optional[int] = None) -> FaultRule:
+    """Lose a verb's completion.  ``applied_prob`` is the chance the MN
+    applied the side effect before the loss (completion loss) versus the
+    request itself being lost (no side effect)."""
+    return FaultRule(kind="drop", prob=prob, verbs=verbs,
+                     applied_prob=applied_prob, mn=mn,
+                     start_ns=start_ns, end_ns=end_ns)
+
+
+def delay(prob: float, delay_ns: int,
+          verbs: Optional[Tuple[str, ...]] = None, *,
+          mn: Optional[int] = None) -> FaultRule:
+    """Deliver the completion late by ``delay_ns`` simulated ns."""
+    return FaultRule(kind="delay", prob=prob, delay_ns=delay_ns,
+                     verbs=verbs, mn=mn)
+
+
+def duplicate(prob: float,
+              verbs: Tuple[str, ...] = ("write",)) -> FaultRule:
+    """Phantom retransmission: the verb applies twice, one completion."""
+    return FaultRule(kind="duplicate", prob=prob, verbs=verbs)
+
+
+def stale_cas(prob: float, *, mn: Optional[int] = None) -> FaultRule:
+    """A CAS that actually swapped reports failure with the stale
+    pre-swap snapshot (the classic lost-CAS-reply ambiguity)."""
+    return FaultRule(kind="stale_cas", prob=prob, verbs=("cas",), mn=mn)
+
+
+def brownout(mn: int, start_ns: int, end_ns: int, prob: float, *,
+             delay_ns: int = 0) -> FaultRule:
+    """A NIC brown-out window on one MN: during ``[start_ns, end_ns)``
+    matching verbs are delayed (``delay_ns > 0``) or dropped unapplied."""
+    return FaultRule(kind="brownout", prob=prob, mn=mn,
+                     start_ns=start_ns, end_ns=end_ns, delay_ns=delay_ns)
+
+
+def poke(addr: int, data: bytes, *, at_verb: int = 0) -> FaultRule:
+    """Scheduled raw byte write at a global address (e.g. forge a lock
+    word).  Models an abandoned lock / torn state without a client."""
+    return FaultRule(kind="poke", addr=addr, data=bytes(data),
+                     at_verb=at_verb)
+
+
+def flip(addr: Optional[int] = None, *, xor: int = 0, length: int = 1,
+         at_verb: Optional[int] = None, prob: float = 0.0,
+         mn: Optional[int] = None) -> FaultRule:
+    """Flip bits: XOR ``xor`` (0 = one random bit) into ``length`` bytes
+    at ``addr``, or - when ``addr`` is None - at a seeded-random offset
+    within one MN's allocated range."""
+    return FaultRule(kind="flip", addr=addr, xor=xor, length=length,
+                     at_verb=at_verb, prob=prob, mn=mn)
+
+
+def crash_mn(mn: int, *, at_verb: int = 0) -> FaultRule:
+    """Crash-and-blank: zero one MN's entire allocated region.  Data on
+    that node is gone; clients must degrade, not corrupt."""
+    return FaultRule(kind="crash_mn", mn=mn, at_verb=at_verb)
+
+
+# -- the plan ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered fault schedule.
+
+    ``timeout_ns`` is the client-visible completion timeout charged (in
+    simulated time) whenever a drop/NAK leaves a verb without a reply.
+    """
+
+    seed: int
+    rules: Tuple[FaultRule, ...] = ()
+    timeout_ns: int = 12_000
+
+    def __post_init__(self):
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def validate(self) -> None:
+        if self.timeout_ns < 0:
+            raise ConfigError("FaultPlan.timeout_ns must be >= 0")
+        for rule in self.rules:
+            rule.validate()
+
+    @classmethod
+    def chaos(cls, seed: int, intensity: float = 1.0) -> "FaultPlan":
+        """The standard chaos mix used by ``--chaos`` and the property
+        suite: fabric faults only, under the *fail-safe CAS,
+        at-least-once write* model the clients' retry protocols are
+        designed to survive (see DESIGN.md "Fault model"):
+
+        * reads: request or completion lost (no side effect either way),
+        * writes: completion lost but the write applied,
+        * CAS/FAA: request lost, nothing applied,
+        * random completion delays, phantom write retransmissions,
+        * one seeded brown-out window on a seeded MN.
+
+        Memory-corruption rules (``flip``/``poke``/``crash_mn``) and
+        ``stale_cas`` are injectable but deliberately not part of this
+        mix - recovering from them needs the paper's out-of-scope lease
+        mechanism, and they are exercised by targeted tests instead.
+        """
+        if intensity < 0:
+            raise ConfigError("chaos intensity must be >= 0")
+        p = min(1.0, 0.01 * intensity)
+        rng = random.Random(seed ^ 0xC4A05C4A05)
+        window_start = rng.randrange(200_000, 2_000_000)
+        rules = (
+            drop(p, verbs=("read",)),
+            drop(p, verbs=("write",), applied_prob=1.0),
+            drop(p, verbs=("cas", "faa"), applied_prob=0.0),
+            delay(min(1.0, 3 * p), delay_ns=20_000),
+            duplicate(p, verbs=("write",)),
+            brownout(rng.randrange(0, 3), window_start,
+                     window_start + 250_000, min(1.0, 10 * p)),
+        )
+        return cls(seed=seed, rules=rules)

@@ -1,0 +1,62 @@
+"""The unified client retry/backoff/timeout policy.
+
+Every index client (Sphinx, SMART, ART-on-DM, RACE, B+) retries
+optimistic operations under one :class:`RetryPolicy` instead of scattered
+``max_retries``/``backoff_ns`` pairs.  The policy is deliberately tiny and
+frozen: it is embedded in frozen config dataclasses and deep-copied with
+benchmark snapshots.
+
+``backoff_delay`` reproduces the historical jittered exponential backoff
+bit-for-bit (same shift cap, same ``randrange`` bounds), so swapping the
+old per-client fields for a shared policy does not move a single
+simulated digit when faults are off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter, plus an optional per-op
+    simulated-time deadline.
+
+    * ``max_retries`` - attempts before :class:`RetryLimitExceeded`.
+    * ``backoff_ns``  - base backoff; attempt *n* waits a jittered value
+      in ``[c/2, c]`` with ``c = backoff_ns << min(n, max_backoff_shift)``.
+    * ``op_timeout_ns`` - 0 disables; otherwise an operation that is
+      still retrying ``op_timeout_ns`` simulated ns after it started
+      raises :class:`RetryLimitExceeded` even with retries left.
+    """
+
+    max_retries: int = 64
+    backoff_ns: int = 2_000
+    max_backoff_shift: int = 6
+    op_timeout_ns: int = 0
+
+    def validate(self) -> None:
+        if self.max_retries < 1:
+            raise ConfigError("RetryPolicy.max_retries must be >= 1")
+        if self.backoff_ns < 0:
+            raise ConfigError("RetryPolicy.backoff_ns must be >= 0")
+        if self.max_backoff_shift < 0:
+            raise ConfigError("RetryPolicy.max_backoff_shift must be >= 0")
+        if self.op_timeout_ns < 0:
+            raise ConfigError("RetryPolicy.op_timeout_ns must be >= 0")
+
+    def backoff_delay(self, rng: random.Random, attempt: int) -> int:
+        """Jittered delay before retry number ``attempt`` (0-based)."""
+        ceiling = self.backoff_ns << min(attempt, self.max_backoff_shift)
+        return ceiling // 2 + rng.randrange(ceiling // 2 + 1)
+
+    def flat_delay(self) -> int:
+        """Constant backoff for clients that historically never jittered
+        (RACE); kept flat so the no-fault benchmark numbers are stable."""
+        return self.backoff_ns
+
+
+DEFAULT_RETRY = RetryPolicy()

@@ -38,7 +38,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..art.layout import HashEntry
 from ..dm.rdma import Batch, CasOp, LocalCompute, ReadOp, WriteOp
-from ..errors import HashTableError, RetryLimitExceeded
+from ..errors import HashTableError, InjectedFault, RetryLimitExceeded
+from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 from ..util.bits import u64_from_bytes, u64_to_bytes
 from .layout import (
     DIR_ENTRY,
@@ -51,10 +52,6 @@ from .layout import (
     key_hash,
     segment_index,
 )
-
-MAX_RETRIES = 64
-BACKOFF_NS = 2_000
-
 
 @dataclass
 class DirCacheEntry:
@@ -110,12 +107,15 @@ def _group_struct(slots_per_group: int) -> struct.Struct:
 class RaceClient:
     """One client's view of one MN-resident table."""
 
-    def __init__(self, info: TableInfo, allocate_segment):
+    def __init__(self, info: TableInfo, allocate_segment,
+                 retry: RetryPolicy | None = None):
         """``allocate_segment(local_depth) -> addr`` provisions a zeroed
         segment on the table's MN (control-plane; see DESIGN.md)."""
         self.info = info
         self.params = info.params
         self._allocate_segment = allocate_segment
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.retry.validate()
         self._dir_cache: Dict[int, DirCacheEntry] = {}
         self.splits = 0
         self.stale_refreshes = 0
@@ -134,7 +134,11 @@ class RaceClient:
             (yield ReadOp(self.info.dir_addr + idx * 8, 8)))
         fields = DIR_ENTRY.unpack(word)
         if not fields["occupied"]:
-            raise HashTableError(f"unoccupied directory slot {idx}")
+            # Under fault injection a crashed/blanked MN can wipe the
+            # directory; report it as a retryable-path failure rather
+            # than a protocol bug so callers contain it uniformly.
+            raise RetryLimitExceeded(f"unoccupied directory slot {idx}",
+                                     addr=self.info.dir_addr + idx * 8)
         entry = DirCacheEntry(fields["addr"], fields["local_depth"])
         self._dir_cache[idx] = entry
         self.stale_refreshes += 1
@@ -161,22 +165,30 @@ class RaceClient:
                          (header >> 9) & ((1 << 40) - 1), words[1:])
 
     def _read_group(self, h: int):
-        """Read + validate the group for ``h``; retries around splits."""
-        for _ in range(MAX_RETRIES):
-            cached = yield from self._locate(h)
-            addr = self._group_addr(cached.seg_addr, h)
-            group = self._parse_group(
-                addr, (yield ReadOp(addr, self.params.group_size)))
-            if group.locked:
-                yield LocalCompute(BACKOFF_NS)
-                yield from self._refresh_dir(h)
+        """Read + validate the group for ``h``; retries around splits
+        (and, under fault injection, around dropped/NAKed reads)."""
+        cached = None
+        for _ in range(self.retry.max_retries):
+            try:
+                cached = yield from self._locate(h)
+                addr = self._group_addr(cached.seg_addr, h)
+                group = self._parse_group(
+                    addr, (yield ReadOp(addr, self.params.group_size)))
+                if group.locked:
+                    yield LocalCompute(self.retry.flat_delay())
+                    yield from self._refresh_dir(h)
+                    continue
+                if group.local_depth != cached.local_depth:
+                    yield from self._refresh_dir(h)
+                    continue
+                return group
+            except InjectedFault:
+                yield LocalCompute(self.retry.flat_delay())
                 continue
-            if group.local_depth != cached.local_depth:
-                yield from self._refresh_dir(h)
-                continue
-            return group
-        raise RetryLimitExceeded("group read kept racing splits",
-                                 addr=self._group_addr(cached.seg_addr, h))
+        raise RetryLimitExceeded(
+            "group read kept racing splits",
+            addr=None if cached is None
+            else self._group_addr(cached.seg_addr, h))
 
     # -- public operations ---------------------------------------------
     def lookup(self, key: bytes):
@@ -190,39 +202,43 @@ class RaceClient:
         h = key_hash(key, self.params.seed)
         if entry.fp2 != fp2_of(h):
             raise HashTableError("entry fp2 inconsistent with key hash")
-        for _ in range(MAX_RETRIES):
-            group = yield from self._read_group(h)
-            free = group.free_index()
-            if free is None:
-                yield from self._split(h)
+        for _ in range(self.retry.max_retries):
+            try:
+                group = yield from self._read_group(h)
+                free = group.free_index()
+                if free is None:
+                    yield from self._split(h)
+                    continue
+                slot_addr = group.slot_addr(free)
+                cas_result, header_bytes = yield Batch([
+                    CasOp(slot_addr, 0, entry.pack()),
+                    ReadOp(group.addr, HEADER_SIZE),
+                ])
+                swapped, _old = cas_result
+                if not swapped:
+                    continue  # another insert took the slot
+                fields = GROUP_HEADER.unpack(u64_from_bytes(header_bytes))
+                if fields["locked"] or fields["version"] != group.version:
+                    # A split raced us; our entry may now be in the wrong
+                    # segment.  Undo and retry through the fresh directory.
+                    undone, _ = yield CasOp(slot_addr, entry.pack(), 0)
+                    yield from self._refresh_dir(h)
+                    if not undone:
+                        # The split migrated our entry to the sibling
+                        # segment before we could take it back: the insert
+                        # is durably installed there.  Retrying would plant
+                        # a duplicate, so find the entry's new home instead.
+                        group = yield from self._read_group(h)
+                        for new_slot, moved in group.matches(entry.fp2):
+                            if moved.pack() == entry.pack():
+                                return new_slot
+                        # A concurrent delete removed it in the window; the
+                        # retry loop reinstalls it.
+                    continue
+                return slot_addr
+            except InjectedFault:
+                yield LocalCompute(self.retry.flat_delay())
                 continue
-            slot_addr = group.slot_addr(free)
-            cas_result, header_bytes = yield Batch([
-                CasOp(slot_addr, 0, entry.pack()),
-                ReadOp(group.addr, HEADER_SIZE),
-            ])
-            swapped, _old = cas_result
-            if not swapped:
-                continue  # another insert took the slot
-            fields = GROUP_HEADER.unpack(u64_from_bytes(header_bytes))
-            if fields["locked"] or fields["version"] != group.version:
-                # A split raced us; our entry may now be in the wrong
-                # segment.  Undo and retry through the fresh directory.
-                undone, _ = yield CasOp(slot_addr, entry.pack(), 0)
-                yield from self._refresh_dir(h)
-                if not undone:
-                    # The split migrated our entry to the sibling segment
-                    # before we could take it back: the insert is durably
-                    # installed there.  Retrying would plant a duplicate,
-                    # so find the entry's new home instead.
-                    group = yield from self._read_group(h)
-                    for new_slot, moved in group.matches(entry.fp2):
-                        if moved.pack() == entry.pack():
-                            return new_slot
-                    # A concurrent delete removed it in the window; the
-                    # retry loop reinstalls it.
-                continue
-            return slot_addr
         raise RetryLimitExceeded(f"insert of {key!r} exceeded retries",
                                  addr=self.info.dir_addr)
 
@@ -234,16 +250,21 @@ class RaceClient:
     def delete(self, key: bytes, node_addr: int):
         """Remove the entry for ``key`` pointing at ``node_addr``."""
         h = key_hash(key, self.params.seed)
-        for _ in range(MAX_RETRIES):
-            group = yield from self._read_group(h)
-            targets = [(sa, e) for sa, e in group.matches(fp2_of(h))
-                       if e.addr == node_addr]
-            if not targets:
-                return False
-            slot_addr, entry = targets[0]
-            swapped, _ = yield CasOp(slot_addr, entry.pack(), 0)
-            if swapped:
-                return True
+        slot_addr = None
+        for _ in range(self.retry.max_retries):
+            try:
+                group = yield from self._read_group(h)
+                targets = [(sa, e) for sa, e in group.matches(fp2_of(h))
+                           if e.addr == node_addr]
+                if not targets:
+                    return False
+                slot_addr, entry = targets[0]
+                swapped, _ = yield CasOp(slot_addr, entry.pack(), 0)
+                if swapped:
+                    return True
+            except InjectedFault:
+                yield LocalCompute(self.retry.flat_delay())
+                continue
         raise RetryLimitExceeded(f"delete of {key!r} exceeded retries",
                                  addr=slot_addr)
 
@@ -331,7 +352,7 @@ class RaceClient:
         groups = self._segment_groups(seg_addr, seg_data)
         if any(g.locked for g in groups) or \
                 groups[0].local_depth != local_depth:
-            yield LocalCompute(BACKOFF_NS)
+            yield LocalCompute(self.retry.flat_delay())
             yield from self._refresh_dir(h)
             return
         lock_results = yield Batch([
@@ -353,7 +374,7 @@ class RaceClient:
                     for g, w in zip(groups, won) if w]
             if undo:
                 yield Batch(undo)
-            yield LocalCompute(BACKOFF_NS)
+            yield LocalCompute(self.retry.flat_delay())
             return
         # Phase 2: stable re-read under the lock.
         seg_data = yield ReadOp(seg_addr, params.segment_size)

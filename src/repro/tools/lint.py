@@ -46,7 +46,8 @@ _FILE_PRAGMA = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
 
 #: Directories (relative to the package root) whose files own the
 #: data plane and may touch Memory directly.
-_L001_EXEMPT_PARTS = ("repro/dm/", "repro/tools/", "repro/san/")
+_L001_EXEMPT_PARTS = ("repro/dm/", "repro/tools/", "repro/san/",
+                      "repro/fault/")
 
 
 @dataclass(frozen=True)

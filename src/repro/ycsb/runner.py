@@ -21,7 +21,7 @@ from typing import Dict, List, Optional
 
 from ..dm.cluster import Cluster
 from ..dm.rdma import OpStats
-from ..errors import ConfigError
+from ..errors import ConfigError, InjectedFault, RetryLimitExceeded
 from ..sim.resources import LatencyRecorder
 from ..util.zipf import (
     LatestGenerator,
@@ -47,6 +47,13 @@ class RunResult:
     nic_utilization: Dict[str, float] = field(default_factory=dict)
     client_metrics: Dict[str, int] = field(default_factory=dict)
     latency_by_op: Dict[str, LatencyRecorder] = field(default_factory=dict)
+    # Chaos accounting: ops that surfaced a clean failure under fault
+    # injection, and the injector's fired-fault counters.  Both stay at
+    # their defaults when no FaultPlan is attached, keeping row() (and
+    # with it every baseline comparison) byte-identical to fault-free
+    # runs.
+    failed_ops: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
     # Host-side performance of producing this result (wall seconds, engine
     # events, ...).  Filled by the harness grid runner; not part of row(),
     # which only carries simulated-world outputs.
@@ -58,6 +65,14 @@ class RunResult:
         if self.sim_ns == 0:
             return 0.0
         return self.ops / (self.sim_ns / 1e9) / 1e6
+
+    @property
+    def goodput_mops(self) -> float:
+        """Successfully completed operations per simulated second - what
+        ``--chaos`` reports alongside raw throughput."""
+        if self.sim_ns == 0:
+            return 0.0
+        return (self.ops - self.failed_ops) / (self.sim_ns / 1e9) / 1e6
 
     @property
     def avg_latency_us(self) -> float:
@@ -157,7 +172,8 @@ class _SharedRunState:
 
 def _worker(cluster: Cluster, index, state: _SharedRunState, wid: int,
             cn: int, ops: int, latency: LatencyRecorder, stats: OpStats,
-            latency_by_op: Dict[str, LatencyRecorder]):
+            latency_by_op: Dict[str, LatencyRecorder],
+            failed: Optional[Dict[str, int]] = None):
     """One closed-loop client coroutine (a simulation process)."""
     spec = state.spec
     rng = random.Random(state.seed * 7919 + wid)
@@ -175,35 +191,44 @@ def _worker(cluster: Cluster, index, state: _SharedRunState, wid: int,
     for i in range(ops):
         op_name = rng.choices(ops_names, cum_weights=cum_weights, k=1)[0]
         start = engine.now
-        if op_name == "read":
-            key = state.keys[chooser.next() % len(state.keys)]
-            yield from executor.run(client.search(key))
-        elif op_name == "update":
-            key = state.keys[chooser.next() % len(state.keys)]
-            yield from executor.run(
-                client.update(key, _value(wid * ops + i, spec.value_size)))
-        elif op_name == "insert":
-            key = state.next_insert_key()
-            if key is None:  # pool exhausted: degrade to an update
+        try:
+            if op_name == "read":
+                key = state.keys[chooser.next() % len(state.keys)]
+                yield from executor.run(client.search(key))
+            elif op_name == "update":
                 key = state.keys[chooser.next() % len(state.keys)]
                 yield from executor.run(
-                    client.update(key, _value(i, spec.value_size)))
-            else:
-                yield from executor.run(
-                    client.insert(key, _value(state.insert_seq,
+                    client.update(key, _value(wid * ops + i,
                                               spec.value_size)))
-                if isinstance(chooser, LatestGenerator):
-                    chooser.advance()
-        elif op_name == "scan":
-            key = state.keys[chooser.next() % len(state.keys)]
-            length = rng.randint(1, spec.scan_max_len)
-            yield from executor.run(client.scan_count(key, length))
-        elif op_name == "rmw":
-            key = state.keys[chooser.next() % len(state.keys)]
-            value = yield from executor.run(client.search(key))
-            new = _value(i, spec.value_size) if value is None else \
-                bytes(reversed(value))
-            yield from executor.run(client.update(key, new))
+            elif op_name == "insert":
+                key = state.next_insert_key()
+                if key is None:  # pool exhausted: degrade to an update
+                    key = state.keys[chooser.next() % len(state.keys)]
+                    yield from executor.run(
+                        client.update(key, _value(i, spec.value_size)))
+                else:
+                    yield from executor.run(
+                        client.insert(key, _value(state.insert_seq,
+                                                  spec.value_size)))
+                    if isinstance(chooser, LatestGenerator):
+                        chooser.advance()
+            elif op_name == "scan":
+                key = state.keys[chooser.next() % len(state.keys)]
+                length = rng.randint(1, spec.scan_max_len)
+                yield from executor.run(client.scan_count(key, length))
+            elif op_name == "rmw":
+                key = state.keys[chooser.next() % len(state.keys)]
+                value = yield from executor.run(client.search(key))
+                new = _value(i, spec.value_size) if value is None else \
+                    bytes(reversed(value))
+                yield from executor.run(client.update(key, new))
+        except (RetryLimitExceeded, InjectedFault):
+            # Clean per-op failure under fault injection: count it
+            # against goodput and keep the closed loop running.  With no
+            # plan attached these exceptions stay fatal, as before.
+            if failed is None:
+                raise
+            failed["ops"] += 1
         elapsed = engine.now - start
         latency.record(elapsed)
         latency_by_op.setdefault(op_name, LatencyRecorder()).record(elapsed)
@@ -235,11 +260,12 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
     start_ns = engine.now
     per_worker = ops // workers
     actual_ops = per_worker * workers
+    failed = {"ops": 0} if cluster.injector is not None else None
     processes = []
     for wid in range(workers):
         cn = wid % num_cns
         gen = _worker(cluster, index, state, wid, cn, per_worker,
-                      latency, stats, latency_by_op)
+                      latency, stats, latency_by_op, failed)
         processes.append(engine.process(gen, name=f"worker{wid}"))
     for process in processes:
         engine.run_until_complete(process, limit=start_ns + time_limit_ns)
@@ -262,4 +288,7 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
                      dataset=dataset.name, workers=workers, ops=actual_ops,
                      sim_ns=sim_ns, latency=latency, op_stats=stats,
                      nic_utilization=nic_util, client_metrics=metrics,
-                     latency_by_op=latency_by_op)
+                     latency_by_op=latency_by_op,
+                     failed_ops=failed["ops"] if failed else 0,
+                     faults=dict(cluster.injector.counters)
+                     if cluster.injector is not None else {})

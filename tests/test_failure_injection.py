@@ -5,6 +5,10 @@ external recovery, which is out of scope), so the properties asserted
 here are *containment*: failures surface as bounded retries or degraded
 paths, never as wrong answers or unbounded hangs, and lock-free readers
 keep working through abandoned writer locks.
+
+Faults are expressed as :class:`repro.fault.FaultPlan` rules (scheduled
+``poke``/``flip`` environment corruption) rather than hand-poking memory
+bytes, so the same machinery the chaos suite uses is exercised here.
 """
 
 import pytest
@@ -13,7 +17,6 @@ from repro.art import encode_str
 from repro.art.layout import (
     NODE256,
     STATUS_LOCKED,
-    Header,
     decode_leaf,
     decode_node,
     leaf_status_word,
@@ -24,7 +27,9 @@ from repro.core.lock import locked_header
 from repro.dm import Cluster, ClusterConfig
 from repro.dm.memory import addr_mn, addr_offset
 from repro.errors import RetryLimitExceeded
+from repro.fault import FaultPlan, RetryPolicy, flip, poke
 from repro.race.layout import GROUP_HEADER
+from repro.util.bits import u64_to_bytes
 
 
 def read_node(cluster, addr, node_type):
@@ -47,11 +52,19 @@ def walk_to_leaf(cluster, index, key):
         path.append((addr, view))
 
 
+def inject(cluster, *rules):
+    """Attach a plan of scheduled rules and hand back a fresh executor
+    (executors built before ``attach_faults`` bypass the injector)."""
+    cluster.attach_faults(FaultPlan(seed=7, rules=tuple(rules)))
+    return cluster.direct_executor()
+
+
 @pytest.fixture
 def loaded():
     cluster = Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
     index = SphinxIndex(cluster, SphinxConfig(
-        filter_budget_bytes=1 << 14, max_retries=12, backoff_ns=500))
+        filter_budget_bytes=1 << 14,
+        retry=RetryPolicy(max_retries=12, backoff_ns=500)))
     client = index.client(0)
     ex = cluster.direct_executor()
     keys = [encode_str(f"node/{i:03d}") for i in range(40)]
@@ -61,26 +74,27 @@ def loaded():
 
 
 def _abandon_lock_on_leaf_parent(cluster, index, key):
-    """Simulate a crashed writer: leave the leaf's parent Locked forever."""
+    """Simulate a crashed writer: leave the leaf's parent Locked forever
+    (a scheduled ``poke`` rule, fired before the next verb)."""
     path, _leaf_slot = walk_to_leaf(cluster, index, key)
     node_addr, view = path[-1]
-    memory = cluster.memories[addr_mn(node_addr)]
-    memory.write_u64(addr_offset(node_addr),
-                     locked_header(view.header).pack())
-    return node_addr, view
+    ex = inject(cluster, poke(
+        node_addr, u64_to_bytes(locked_header(view.header).pack())))
+    return node_addr, view, ex
 
 
 def test_readers_pass_through_abandoned_node_lock(loaded):
-    cluster, index, client, ex, keys = loaded
-    _abandon_lock_on_leaf_parent(cluster, index, keys[0])
+    cluster, index, client, _ex, keys = loaded
+    _addr, _view, ex = _abandon_lock_on_leaf_parent(cluster, index, keys[0])
     # Reads are lock-free (paper Sec. III-C): they still succeed.
     for i, key in enumerate(keys[:10]):
         assert ex.run(client.search(key)) == f"v{i}".encode()
+    assert cluster.injector.counters.get("poke") == 1
 
 
 def test_writers_bounded_by_retry_budget_on_abandoned_lock(loaded):
-    cluster, index, client, ex, keys = loaded
-    _node_addr, view = _abandon_lock_on_leaf_parent(cluster, index, keys[0])
+    cluster, index, client, _ex, keys = loaded
+    _addr, view, ex = _abandon_lock_on_leaf_parent(cluster, index, keys[0])
     # A key that must be installed *inside* the dead-locked node: same
     # prefix as keys[0] up to the node's depth, fresh next byte.
     depth = view.header.depth
@@ -98,9 +112,10 @@ def test_update_bounded_on_abandoned_leaf_lock(loaded):
     leaf = decode_leaf(leaf_mem.read(addr_offset(leaf_slot.addr),
                                      leaf_slot.size_class * 64))
     assert leaf.key == keys[0]
-    leaf_mem.write_u64(addr_offset(leaf_slot.addr),
-                       leaf_status_word(STATUS_LOCKED, leaf.units,
-                                        len(leaf.key), len(leaf.value)))
+    ex = inject(cluster, poke(
+        leaf_slot.addr,
+        u64_to_bytes(leaf_status_word(STATUS_LOCKED, leaf.units,
+                                      len(leaf.key), len(leaf.value)))))
     with pytest.raises(RetryLimitExceeded):
         ex.run(client.update(keys[0], b"nope"))
     # Other keys are unaffected.
@@ -109,20 +124,20 @@ def test_update_bounded_on_abandoned_leaf_lock(loaded):
 
 
 def test_search_degrades_when_inht_bucket_stuck(loaded):
-    cluster, index, client, ex, keys = loaded
+    cluster, index, client, _ex, keys = loaded
     # Jam the hash-table bucket of the *deepest* inner prefix on the
     # key's path behind a fake (abandoned) segment-split lock.
     path, _leaf_slot = walk_to_leaf(cluster, index, keys[0])
-    deepest_addr, deepest_view = path[-1]
+    _deepest_addr, deepest_view = path[-1]
     prefix = keys[0][:deepest_view.header.depth]
     race = client.inht._client_for(prefix)
     location = race.cached_group_location(prefix)
     assert location is not None  # warmed during the load
     group_addr, _h, local_depth = location
-    memory = cluster.memories[addr_mn(group_addr)]
-    memory.write_u64(addr_offset(group_addr),
-                     GROUP_HEADER.pack(local_depth=local_depth, locked=1,
-                                       version=999))
+    ex = inject(cluster, poke(
+        group_addr,
+        u64_to_bytes(GROUP_HEADER.pack(local_depth=local_depth, locked=1,
+                                       version=999))))
     # Searches fall back to root traversal and still answer correctly.
     before = client.inht_fallbacks
     assert ex.run(client.search(keys[0])) == b"v0"
@@ -130,12 +145,11 @@ def test_search_degrades_when_inht_bucket_stuck(loaded):
 
 
 def test_corrupted_leaf_is_detected_not_returned(loaded):
-    cluster, index, client, ex, keys = loaded
+    cluster, index, client, _ex, keys = loaded
     _path, leaf_slot = walk_to_leaf(cluster, index, keys[0])
-    leaf_mem = cluster.memories[addr_mn(leaf_slot.addr)]
-    offset = addr_offset(leaf_slot.addr) + 17  # a key/payload byte
-    corrupted = bytes([leaf_mem.read(offset, 1)[0] ^ 0xFF])
-    leaf_mem.write(offset, corrupted)
+    # Flip every bit of one key/payload byte (xor 0xFF at offset +17).
+    ex = inject(cluster, flip(addr=leaf_slot.addr + 17, xor=0xFF,
+                              at_verb=0))
     # The checksum turns silent corruption into a bounded, loud failure.
     with pytest.raises(RetryLimitExceeded):
         ex.run(client.search(keys[0]))

@@ -1,0 +1,211 @@
+"""Determinism of the chaos substrate (ISSUE 3 satellite).
+
+The fault injector is part of the simulation, so it obeys the same
+contract as the engine: one seed, one history.  These tests pin down
+
+* bit-identical fault schedules, OpStats, and simulated clocks across
+  two runs of the same seeded plan;
+* bit-identical chaos benchmark cells across repeats and across the
+  fork-pool grid path;
+* the zero-overhead guarantee: an attached-but-empty plan, and a grid
+  with ``chaos_seed=None``, are byte-identical to runs with no fault
+  machinery at all (including the ``row()`` schema);
+* (env-gated) the fault-free smoke grid still reproduces the committed
+  BENCH_2 baseline digits exactly.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.art import encode_str
+from repro.bench import CellSpec, clear_setup_caches, run_cell, run_grid
+from repro.core import SphinxConfig, SphinxIndex
+from repro.dm import Cluster, ClusterConfig
+from repro.dm.rdma import OpStats
+from repro.errors import RetryLimitExceeded
+from repro.fault import FaultPlan
+
+TINY = dict(num_keys=900, ops=120, workers=6, warmup_ops_per_cn=60)
+
+CHAOS_CELLS = [
+    CellSpec(system="Sphinx", dataset="u64", workload="A", chaos_seed=5,
+             **TINY),
+    CellSpec(system="ART", dataset="u64", workload="C", chaos_seed=5,
+             **TINY),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_snapshots():
+    clear_setup_caches()
+    yield
+    clear_setup_caches()
+
+
+def _stats_tuple(stats: OpStats):
+    return tuple(getattr(stats, f.name)
+                 for f in dataclasses.fields(OpStats))
+
+
+def _chaos_run(seed: int):
+    """One fixed op sequence under FaultPlan.chaos(seed); returns every
+    observable the determinism contract covers."""
+    cluster = Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
+    index = SphinxIndex(cluster, SphinxConfig(filter_budget_bytes=1 << 14))
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    keys = [encode_str(f"d/{i:03d}") for i in range(24)]
+    for i, key in enumerate(keys):
+        ex.run(client.insert(key, f"v{i}".encode()))
+    cluster.attach_faults(FaultPlan.chaos(seed, intensity=4.0))
+    stats = OpStats()
+    executor = cluster.sim_executor(0, stats)
+    engine = cluster.engine
+    outcomes = []
+
+    def mix():
+        for step in range(60):
+            key = keys[step % len(keys)]
+            try:
+                if step % 3 == 0:
+                    got = yield from executor.run(client.search(key))
+                    outcomes.append(("s", got))
+                elif step % 3 == 1:
+                    yield from executor.run(
+                        client.update(key, f"u{step}".encode()))
+                    outcomes.append(("u", True))
+                else:
+                    pairs = yield from executor.run(client.scan_count(key, 4))
+                    outcomes.append(("c", len(pairs)))
+            except RetryLimitExceeded:
+                outcomes.append(("fail", step))
+
+    engine.run_until_complete(engine.process(mix(), name="det"))
+    return (cluster.injector.schedule(), dict(cluster.injector.counters),
+            _stats_tuple(stats), engine.now, tuple(outcomes))
+
+
+def test_same_seed_same_schedule_stats_and_clock():
+    first = _chaos_run(11)
+    second = _chaos_run(11)
+    assert first[0] == second[0], "fault schedules diverged"
+    assert first[1] == second[1], "fault counters diverged"
+    assert first[2] == second[2], "OpStats diverged"
+    assert first[3] == second[3], "simulated clocks diverged"
+    assert first[4] == second[4], "op outcomes diverged"
+    # And the schedule is non-trivial: the plan actually fired.
+    assert len(first[0]) > 0
+
+
+def test_different_seed_different_schedule():
+    assert _chaos_run(11)[0] != _chaos_run(12)[0]
+
+
+# -- chaos benchmark cells -------------------------------------------------
+
+def test_chaos_cell_bit_identical_across_repeats():
+    first = run_cell(CHAOS_CELLS[0])
+    second = run_cell(CHAOS_CELLS[0])
+    assert first.row() == second.row()
+    assert first.sim_ns == second.sim_ns
+    assert first.failed_ops == second.failed_ops
+    assert first.faults == second.faults
+    assert first.latency.samples == second.latency.samples
+    # The plan really perturbed the run.
+    assert sum(first.faults.values()) > 0
+
+
+def test_chaos_grid_parallel_matches_serial():
+    serial = run_grid(CHAOS_CELLS, parallel=0)
+    parallel = run_grid(CHAOS_CELLS, parallel=2)
+    assert [r.row() for r in serial] == [r.row() for r in parallel]
+    for s, p in zip(serial, parallel):
+        assert s.failed_ops == p.failed_ops
+        assert s.faults == p.faults
+        assert s.latency.samples == p.latency.samples
+
+
+def test_chaos_does_not_pollute_fault_free_cells():
+    """chaos_seed is excluded from the snapshot keys: a fault-free cell
+    run after a chaos cell must match one run in a fresh process."""
+    clean_cell = CellSpec(system="Sphinx", dataset="u64", workload="A",
+                          **TINY)
+    alone = run_cell(clean_cell)
+    clear_setup_caches()
+    run_cell(CHAOS_CELLS[0])
+    after_chaos = run_cell(clean_cell)
+    assert alone.row() == after_chaos.row()
+    assert alone.latency.samples == after_chaos.latency.samples
+    assert after_chaos.failed_ops == 0 and after_chaos.faults == {}
+
+
+# -- zero overhead ---------------------------------------------------------
+
+def test_empty_plan_is_zero_overhead():
+    """Attaching a plan with no rules must not move a single simulated
+    digit: the empty ruleset draws no RNG and injects nothing."""
+
+    def run(attach_empty):
+        cluster = Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
+        index = SphinxIndex(cluster,
+                            SphinxConfig(filter_budget_bytes=1 << 14))
+        client = index.client(0)
+        ex = cluster.direct_executor()
+        keys = [encode_str(f"z/{i:03d}") for i in range(24)]
+        for i, key in enumerate(keys):
+            ex.run(client.insert(key, f"v{i}".encode()))
+        if attach_empty:
+            cluster.attach_faults(FaultPlan(seed=0, rules=()))
+        stats = OpStats()
+        executor = cluster.sim_executor(0, stats)
+        engine = cluster.engine
+
+        def mix():
+            for step, key in enumerate(keys * 3):
+                if step % 2:
+                    yield from executor.run(client.search(key))
+                else:
+                    yield from executor.run(
+                        client.update(key, f"u{step}".encode()))
+
+        engine.run_until_complete(engine.process(mix(), name="zo"))
+        return _stats_tuple(stats), engine.now
+
+    assert run(False) == run(True)
+
+
+def test_fault_free_row_schema_unchanged():
+    """Fault-free RunResult.row() must not grow chaos columns - the
+    committed figure tables and baseline comparisons parse it."""
+    result = run_cell(CellSpec(system="Sphinx", dataset="u64",
+                               workload="A", **TINY))
+    assert set(result.row()) == {
+        "system", "workload", "dataset", "workers", "ops",
+        "throughput_mops", "avg_latency_us", "p99_latency_us",
+        "round_trips_per_op", "messages_per_op"}
+    assert result.failed_ops == 0 and result.faults == {}
+
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..",
+                        "benchmarks", "results", "BENCH_2.baseline.json")
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_BASELINE_CHECK"),
+                    reason="full-scale baseline identity check is slow; "
+                           "set REPRO_BASELINE_CHECK=1 (CI chaos job)")
+def test_fault_free_smoke_cell_matches_bench2_baseline():
+    """The committed BENCH_2 smoke baseline was produced before the fault
+    substrate existed: with no plan attached, the same cell must still
+    land on the identical simulated digits (true zero overhead)."""
+    with open(BASELINE) as fh:
+        cells = json.load(fh)["cells"]
+    want = next(c for c in cells if (c["system"], c["dataset"],
+                                     c["workload"]) == ("ART", "u64", "A"))
+    got = run_cell(CellSpec(system="ART", dataset="u64", workload="A",
+                            num_keys=15_000, ops=want["ops"],
+                            workers=want["workers"]))
+    assert got.sim_ns == want["sim_ns"]
+    assert got.ops == want["ops"]
