@@ -225,6 +225,11 @@ class BplusClient:
         self.metrics = {"searches": 0, "inserts": 0, "updates": 0,
                         "splits": 0, "restarts": 0}
 
+    def counters(self):
+        """Snapshot into the shared :class:`repro.obs.Counters` shape."""
+        from ..obs.counters import Counters
+        return Counters(self.metrics)
+
     # -- small helpers -----------------------------------------------------
     def _backoff(self, attempt: int) -> int:
         return self.config.retry.backoff_delay(self._rng, attempt)

@@ -78,6 +78,17 @@ class SmartClient(RemoteArtTree):
     def note_visited(self, addr: int, view: NodeView) -> None:
         self.cache.put(addr, view)
 
+    def counters(self):
+        """Tree metrics plus the node-cache counters, in the shared
+        :class:`repro.obs.Counters` shape."""
+        counters = super().counters()
+        counters.merge({
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_evictions": self.cache.evictions,
+        })
+        return counters
+
     def invalidate_hint(self, addr: int) -> None:
         self.cache.drop(addr)
 

@@ -21,6 +21,13 @@ Chaos mode: ``--chaos`` attaches the deterministic
 ``FaultPlan.chaos(--chaos-seed)`` fault mix to every fig4/fig5 cell and
 reports goodput (successful ops/s) next to raw throughput.  ``--workloads
 A,C`` and ``--systems Sphinx,ART`` narrow the grid.
+
+Profile mode: ``--profile`` attaches a ``repro.obs`` tracer to every
+fig4/fig5 cell and prints the per-op round-trip/bytes/retry breakdown;
+``--trace-out trace.json`` additionally writes the Chrome
+``trace_event`` JSON (load it in chrome://tracing or Perfetto), and
+``--trace-jsonl trace.jsonl`` the compact JSONL span log.  Attached
+tracing never changes simulated results - see DESIGN.md §8.
 """
 
 from __future__ import annotations
@@ -82,6 +89,15 @@ def main(argv=None) -> int:
                              "fig4/fig5 cell and report goodput")
     parser.add_argument("--chaos-seed", type=int, default=42,
                         help="seed of the chaos fault plan (default 42)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach a repro.obs tracer to every fig4/fig5 "
+                             "cell and print the per-op breakdown")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="with --profile: write the Chrome trace_event "
+                             "JSON (chrome://tracing / Perfetto)")
+    parser.add_argument("--trace-jsonl", metavar="PATH",
+                        help="with --profile: write the compact JSONL "
+                             "span log")
     parser.add_argument("--workloads", metavar="LIST",
                         help="comma-separated fig4 workload subset "
                              "(e.g. A,C; default LOAD,A-E)")
@@ -100,24 +116,36 @@ def main(argv=None) -> int:
         if name not in SYSTEMS + ("Sphinx-NoFilter",):
             parser.error(f"unknown system {name!r}")
     chaos_seed = args.chaos_seed if args.chaos else None
+    if (args.trace_out or args.trace_jsonl) and not args.profile:
+        parser.error("--trace-out/--trace-jsonl require --profile")
+    profiles = {}
+    traces = {}
 
     if args.figure in ("fig4", "all"):
         for dataset in datasets:
             fig4 = fig4_ycsb(dataset, num_keys=args.keys,
                              ops=args.ops, workers=args.workers,
                              systems=systems, parallel=args.parallel,
-                             workloads=workloads, chaos_seed=chaos_seed)
+                             workloads=workloads, chaos_seed=chaos_seed,
+                             profile=args.profile)
             if args.chaos:
                 print(render_chaos(fig4, args.chaos_seed))
             else:
                 print(render_fig4(fig4))
+            for label, prof in fig4.profiles.items():
+                profiles[f"{dataset}:{label}"] = prof
+                traces[f"{dataset}:{label}"] = fig4.traces[label]
     if args.figure in ("fig5", "all"):
         for dataset in datasets:
-            print(render_fig5(fig5_scalability(dataset, num_keys=args.keys,
-                                               ops=args.ops,
-                                               systems=systems,
-                                               parallel=args.parallel,
-                                               chaos_seed=chaos_seed)))
+            fig5 = fig5_scalability(dataset, num_keys=args.keys,
+                                    ops=args.ops, systems=systems,
+                                    parallel=args.parallel,
+                                    chaos_seed=chaos_seed,
+                                    profile=args.profile)
+            print(render_fig5(fig5))
+            for label, prof in fig5.profiles.items():
+                profiles[f"{dataset}:{label}"] = prof
+                traces[f"{dataset}:{label}"] = fig5.traces[label]
     if args.figure in ("fig6", "all"):
         print(render_fig6(fig6_memory(num_keys=args.keys)))
     if args.figure in ("ablations", "all"):
@@ -141,6 +169,25 @@ def main(argv=None) -> int:
         print(_rows_table(ablation_distribution_skew(num_keys=args.keys,
                                                      ops=args.ops,
                                                      workers=args.workers)))
+    if args.profile and profiles:
+        from ..obs import render_profile, write_chrome_trace
+        print(banner("Profile - per-op round-trip/bytes/retry breakdown"))
+        print(render_profile(profiles))
+        if args.trace_out:
+            labels = list(traces)
+            write_chrome_trace([traces[label] for label in labels],
+                               args.trace_out, labels)
+            print(f"wrote {args.trace_out}: Chrome trace_event JSON "
+                  f"({len(labels)} cells; open in chrome://tracing)")
+        if args.trace_jsonl:
+            from ..obs import iter_jsonl
+            with open(args.trace_jsonl, "w") as fh:
+                for label, tracer in traces.items():
+                    for line in iter_jsonl(tracer, cell=label):
+                        fh.write(line)
+                        fh.write("\n")
+            print(f"wrote {args.trace_jsonl}: JSONL span log "
+                  f"({len(traces)} cells)")
     if args.perf_out:
         report = TRACKER.write(args.perf_out)
         print(f"wrote {args.perf_out}: {len(report['cells'])} cells, "

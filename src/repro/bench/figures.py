@@ -33,6 +33,17 @@ FIG4_WORKLOADS = ("LOAD", "A", "B", "C", "D", "E")
 FIG5_WORKERS = (6, 12, 24, 48, 96, 192)
 
 
+def _result_row(run, chaos_seed: Optional[int]) -> dict:
+    """One grid result as a table row, with the chaos columns appended
+    when fault injection was on (shared by every figure grid)."""
+    row = run.row()
+    if chaos_seed is not None:
+        row["goodput_mops"] = round(run.goodput_mops, 4)
+        row["failed_ops"] = run.failed_ops
+        row["faults_injected"] = sum(run.faults.values())
+    return row
+
+
 # ---------------------------------------------------------------------------
 # Fig 4: YCSB throughput
 # ---------------------------------------------------------------------------
@@ -41,6 +52,10 @@ FIG5_WORKERS = (6, 12, 24, 48, 96, 192)
 class Fig4Result:
     dataset: str
     rows: List[dict] = field(default_factory=list)
+    # --profile mode: per-cell op breakdowns and the finished tracers
+    # (both empty unless the grid ran with profile=True).
+    profiles: Dict[str, dict] = field(default_factory=dict)
+    traces: Dict[str, object] = field(default_factory=dict)
 
     def throughput(self, system: str, workload: str) -> float:
         for row in self.rows:
@@ -59,7 +74,8 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
               systems=SYSTEMS, scan_ops: Optional[int] = None,
               parallel: Optional[int] = None,
               workloads=FIG4_WORKLOADS,
-              chaos_seed: Optional[int] = None) -> Fig4Result:
+              chaos_seed: Optional[int] = None,
+              profile: bool = False) -> Fig4Result:
     """The YCSB throughput grid (paper Fig 4, one dataset).
 
     Per system: the dataset is bulk-loaded untimed once; every workload
@@ -71,6 +87,10 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
     ``chaos_seed`` attaches a :func:`repro.fault.FaultPlan.chaos` plan to
     every cell's private cluster copy; the rows then also carry goodput
     and fault counters (``--chaos`` mode).
+
+    ``profile`` attaches a :class:`repro.obs.Tracer` to every cell;
+    ``result.profiles``/``result.traces`` come back keyed by
+    ``"system/workload"`` (``--profile`` mode).
     """
     result = Fig4Result(dataset_name)
     if scan_ops is None:
@@ -87,16 +107,15 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
                  workload=workload_name, num_keys=num_keys,
                  ops=scan_ops if workload_name == "E" else ops,
                  workers=scan_workers if workload_name == "E" else workers,
-                 seed=0, chaos_seed=chaos_seed)
+                 seed=0, chaos_seed=chaos_seed, profile=profile)
         for system in systems for workload_name in workloads
     ]
     for run in run_grid(cells, parallel):
-        row = run.row()
-        if chaos_seed is not None:
-            row["goodput_mops"] = round(run.goodput_mops, 4)
-            row["failed_ops"] = run.failed_ops
-            row["faults_injected"] = sum(run.faults.values())
-        result.rows.append(row)
+        result.rows.append(_result_row(run, chaos_seed))
+        if run.profile is not None:
+            label = f"{run.system}/{run.workload}"
+            result.profiles[label] = run.profile
+            result.traces[label] = run.trace
     return result
 
 
@@ -146,6 +165,8 @@ def render_chaos(result: Fig4Result, chaos_seed: int) -> str:
 class Fig5Result:
     dataset: str
     rows: List[dict] = field(default_factory=list)
+    profiles: Dict[str, dict] = field(default_factory=dict)
+    traces: Dict[str, object] = field(default_factory=dict)
 
     def series(self, system: str) -> List[dict]:
         return [r for r in self.rows if r["system"] == system]
@@ -163,22 +184,22 @@ def fig5_scalability(dataset_name: str, num_keys: int = DEFAULT_KEYS,
                      ops: int = DEFAULT_OPS, systems=SYSTEMS,
                      worker_counts=FIG5_WORKERS,
                      parallel: Optional[int] = None,
-                     chaos_seed: Optional[int] = None) -> Fig5Result:
+                     chaos_seed: Optional[int] = None,
+                     profile: bool = False) -> Fig5Result:
     """Throughput-latency curves for YCSB-A (paper Fig 5, one dataset)."""
     result = Fig5Result(dataset_name)
     cells = [
         CellSpec(system=system, dataset=dataset_name, workload="A",
                  num_keys=num_keys, ops=ops, workers=workers, seed=workers,
-                 chaos_seed=chaos_seed)
+                 chaos_seed=chaos_seed, profile=profile)
         for system in systems for workers in worker_counts
     ]
     for run in run_grid(cells, parallel):
-        row = run.row()
-        if chaos_seed is not None:
-            row["goodput_mops"] = round(run.goodput_mops, 4)
-            row["failed_ops"] = run.failed_ops
-            row["faults_injected"] = sum(run.faults.values())
-        result.rows.append(row)
+        result.rows.append(_result_row(run, chaos_seed))
+        if run.profile is not None:
+            label = f"{run.system}/{run.workload}x{run.workers}"
+            result.profiles[label] = run.profile
+            result.traces[label] = run.trace
     return result
 
 
@@ -421,6 +442,7 @@ def ablation_depth_scaling(dataset_name: str = "u64",
     import random
 
     from ..dm.rdma import OpStats
+    from ..obs import Counters
 
     rows = []
     for size in sizes:
@@ -439,12 +461,13 @@ def ablation_depth_scaling(dataset_name: str = "u64",
             for _ in range(probe_ops):
                 counted.run(client.search(
                     dataset.keys[rng.randrange(size)]))
+            per_op = Counters.from_opstats(stats).per_op(probe_ops)
             rows.append({
                 "dataset": dataset_name,
                 "keys": size,
                 "system": system,
-                "rts_per_search": round(stats.round_trips / probe_ops, 3),
-                "bytes_per_search": round(stats.bytes_read / probe_ops, 1),
+                "rts_per_search": round(per_op["round_trips"], 3),
+                "bytes_per_search": round(per_op["bytes_read"], 1),
             })
     return rows
 

@@ -174,6 +174,13 @@ class CellSpec:
     warming stay fault-free (and snapshot-shareable with non-chaos
     cells): the seed is deliberately absent from load_key()/warm_key()."""
 
+    profile: bool = False
+    """When set, a ``repro.obs.Tracer`` is attached to the cell's private
+    cluster copy right before the timed run; ``result.profile`` and
+    ``result.trace`` come back filled.  Like ``chaos_seed``, the flag is
+    deliberately absent from load_key()/warm_key() - tracing never
+    changes what the cell simulates, only what it records."""
+
     def resolved_warmup(self) -> int:
         if self.warmup_ops_per_cn is not None:
             return self.warmup_ops_per_cn
@@ -265,6 +272,9 @@ def run_cell(cell: CellSpec) -> RunResult:
     if cell.chaos_seed is not None:
         from ..fault import FaultPlan
         live.cluster.attach_faults(FaultPlan.chaos(cell.chaos_seed))
+    tracer = None
+    if cell.profile:
+        tracer = live.cluster.attach_tracer()
     engine = live.cluster.engine
     events_before = engine.events_processed
     result = run_workload(live.cluster, live.index, workload(cell.workload),
@@ -280,6 +290,11 @@ def run_cell(cell: CellSpec) -> RunResult:
         "sim_ns": result.sim_ns,
         "throughput_mops": round(result.throughput_mops, 4),
     }
+    if tracer is not None:
+        from ..obs import profile_summary
+        tracer.finish()  # drops live refs: results stay pool-picklable
+        result.profile = profile_summary(tracer)
+        result.trace = tracer
     return result
 
 

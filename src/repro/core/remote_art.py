@@ -55,6 +55,7 @@ from ..dm.memory import addr_mn, format_addr
 from ..dm.rdma import Batch, CasOp, LocalCompute, ReadOp, WriteOp
 from ..errors import InjectedFault, ReproError, RetryLimitExceeded
 from ..fault.retry import DEFAULT_RETRY, RetryPolicy
+from ..obs.counters import Counters
 from ..util.bits import u64_to_bytes
 from ..util.hashing import prefix_hash42
 from . import leaf as leaf_ops
@@ -96,6 +97,9 @@ class TreeMetrics:
 
     def as_dict(self) -> dict:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def counters(self) -> Counters:
+        return Counters(self.as_dict())
 
 
 @dataclass
@@ -155,6 +159,11 @@ class RemoteArtTree:
         # Cluster-scoped seed: a process-global counter here would tie
         # the jitter stream to process history (see Cluster.next_seed).
         self._backoff_rng = _random.Random(cluster.next_seed(0xBACC0FF))
+
+    def counters(self) -> Counters:
+        """Per-client counters in the shared :class:`repro.obs.Counters`
+        shape (subclasses merge their cache/filter counters in)."""
+        return self.metrics.counters()
 
     @property
     def max_retries(self) -> int:

@@ -315,3 +315,17 @@ class SphinxClient(RemoteArtTree):
         stats["inht_splits"] = self.inht.splits()
         stats["multi_candidate_lookups"] = self.multi_candidate_lookups
         return stats
+
+    def counters(self):
+        """Tree metrics plus the Sphinx-specific filter/INHT counters,
+        in the shared :class:`repro.obs.Counters` shape."""
+        counters = super().counters()
+        counters.merge({
+            "filter_hits": self.filter.hits,
+            "filter_misses": self.filter.misses,
+            "filter_evictions": self.filter.evictions,
+            "inht_splits": self.inht.splits(),
+            "inht_fallbacks": self.inht_fallbacks,
+            "multi_candidate_lookups": self.multi_candidate_lookups,
+        })
+        return counters

@@ -67,6 +67,7 @@ class Cluster:
             seed=self.config.placement_seed)
         self.monitor = None        # optional DMSan AccessMonitor
         self.injector = None       # optional repro.fault FaultInjector
+        self.tracer = None         # optional repro.obs Tracer
         self._client_seq = 0
         self._seed_seq = 0
 
@@ -104,6 +105,31 @@ class Cluster:
         injector = FaultInjector(plan, self.memories)
         self.injector = injector
         return injector
+
+    # -- observability -----------------------------------------------------
+    def attach_tracer(self, tracer=None, config=None):
+        """Bind a :class:`repro.obs.Tracer` (created from ``config`` when
+        not given) to this cluster and return it.
+
+        Mirrors :meth:`attach_monitor` / :meth:`attach_faults`: executors
+        created *after* this call report op spans and verb events into
+        the tracer; executors created before it are untouched.  The
+        tracer samples resource gauges passively (never creating engine
+        events), so an attached tracer leaves the simulated schedule
+        bit-identical - see DESIGN.md §8.
+        """
+        if tracer is None:
+            from ..obs import Tracer  # local import: obs depends on dm
+            tracer = Tracer(config)
+        self.tracer = tracer
+        tracer.attach_resources(self)
+        return tracer
+
+    def detach_tracer(self):
+        """Stop tracing: executors created from here on run the
+        zero-overhead clean path.  Returns the detached tracer."""
+        tracer, self.tracer = self.tracer, None
+        return tracer
 
     def _next_client_id(self, prefix: str) -> str:
         self._client_seq += 1
@@ -150,7 +176,8 @@ class Cluster:
                               monitor=self.monitor,
                               client_id=self._next_client_id("direct"),
                               clock=lambda: self.engine.now,
-                              injector=self.injector)
+                              injector=self.injector,
+                              tracer=self.tracer)
 
     def sim_executor(self, cn_id: int,
                      stats: OpStats | None = None) -> SimExecutor:
@@ -161,7 +188,8 @@ class Cluster:
                            self.config.network, stats,
                            monitor=self.monitor,
                            client_id=self._next_client_id(f"cn{cn_id}"),
-                           injector=self.injector)
+                           injector=self.injector,
+                           tracer=self.tracer)
 
     # -- accounting --------------------------------------------------------
     def mn_bytes_by_category(self) -> Dict[str, int]:

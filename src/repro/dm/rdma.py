@@ -186,13 +186,14 @@ class DirectExecutor:
                  stats: OpStats | None = None, *,
                  monitor=None, client_id: str = "direct",
                  clock: Optional[Callable[[], int]] = None,
-                 injector=None):
+                 injector=None, tracer=None):
         self._memories = memories
         self.stats = stats if stats is not None else OpStats()
         self.monitor = monitor
         self.client_id = client_id
         self._clock = clock if clock is not None else (lambda: 0)
         self._injector = injector
+        self._tracer = tracer
         self._apply_entry = self._apply if injector is None \
             else self._apply_faulted
         self._budget = 0  # message ceiling armed by arm_verb_budget
@@ -205,13 +206,19 @@ class DirectExecutor:
 
     def _apply(self, verb: Verb) -> Any:
         monitor = self.monitor
-        if monitor is None:
+        tracer = self._tracer
+        if monitor is None and tracer is None:
             return apply_verb(self._memories, verb)
         now = self._clock()
-        token = monitor.on_issue(self.client_id, verb, now)
-        result = apply_verb(self._memories, verb)
-        monitor.on_apply(token, now, result)
-        monitor.on_complete(token, now)
+        if monitor is None:
+            result = apply_verb(self._memories, verb)
+        else:
+            token = monitor.on_issue(self.client_id, verb, now)
+            result = apply_verb(self._memories, verb)
+            monitor.on_apply(token, now, result)
+            monitor.on_complete(token, now)
+        if tracer is not None:
+            tracer.on_verb(self.client_id, verb, now, now)
         return result
 
     def _apply_faulted(self, verb: Verb) -> Any:
@@ -229,23 +236,28 @@ class DirectExecutor:
             return self._apply(verb)
         self.stats.faults_injected += 1
         kind = decision.kind
+        tracer = self._tracer
         if kind == "drop":
             if decision.applied:
                 self._apply(verb)  # side effect lands, completion lost
+                if tracer is not None:
+                    tracer.tag_verb(self.client_id, "drop")
             raise InjectedFault("completion dropped", kind="drop",
                                 addr=verb.addr, applied=decision.applied)
         if kind == "delay":  # untimed executor: a delay is invisible
-            return self._apply(verb)
-        if kind == "duplicate":
+            result = self._apply(verb)
+        elif kind == "duplicate":
             result = self._apply(verb)
             apply_verb(self._memories, verb)  # phantom retransmission
-            return result
-        if kind == "stale_cas":
+        elif kind == "stale_cas":
             result = self._apply(verb)
             if verb.__class__ is CasOp and result[0]:
-                return (False, verb.expected)
-            return result
-        raise SimulationError(f"unknown fault decision {kind!r}")
+                result = (False, verb.expected)
+        else:
+            raise SimulationError(f"unknown fault decision {kind!r}")
+        if tracer is not None:
+            tracer.tag_verb(self.client_id, kind)
+        return result
 
     def execute(self, op: OpOrBatch) -> Any:
         if self._budget and self.stats.messages > self._budget:
@@ -290,6 +302,8 @@ class DirectExecutor:
         ``gen.throw`` - the client sees them at its ``yield``, exactly
         where a real completion error would surface.
         """
+        if self._tracer is not None:
+            return self._run_traced(gen)
         result = None
         pending: InjectedFault | None = None
         while True:
@@ -312,6 +326,44 @@ class DirectExecutor:
                 pending = exc
                 result = None
 
+    def _run_traced(self, gen: OpGenerator) -> Any:
+        """The :meth:`run` loop with span bracketing (only entered when a
+        tracer is attached, so the clean path stays allocation-free)."""
+        tracer = self._tracer
+        span = tracer.op_begin(self.client_id,
+                               getattr(gen, "__name__", "op"), self._clock())
+        status = "error"
+        try:
+            result = None
+            pending: InjectedFault | None = None
+            while True:
+                try:
+                    if pending is not None:
+                        exc, pending = pending, None
+                        op = gen.throw(exc)
+                    else:
+                        op = gen.send(result)
+                except StopIteration as stop:
+                    status = "ok"
+                    return stop.value
+                except RetryLimitExceeded as exc:
+                    status = "failed"
+                    exc.attach_context(self.client_id, replace(self.stats))
+                    if self._injector is not None:
+                        exc.attach_fault_trace(self._injector.trace_tuple())
+                    raise
+                if op.__class__ is not LocalCompute:
+                    tracer.on_round_trip(span)
+                try:
+                    result = self.execute(op)
+                except InjectedFault as exc:
+                    tracer.on_fault(self.client_id, exc.kind,
+                                    exc.addr or 0, self._clock())
+                    pending = exc
+                    result = None
+        finally:
+            tracer.op_end(span, self._clock(), status)
+
 
 class SimExecutor:
     """Runs op generators under the discrete-event clock.
@@ -324,7 +376,7 @@ class SimExecutor:
                  cn_nic: Nic, mn_nics: Mapping[int, Nic],
                  config, stats: OpStats | None = None, *,
                  monitor=None, client_id: str = "sim",
-                 injector=None):
+                 injector=None, tracer=None):
         self.engine = engine
         self._memories = memories
         self._cn_nic = cn_nic
@@ -334,6 +386,7 @@ class SimExecutor:
         self.monitor = monitor
         self.client_id = client_id
         self._injector = injector
+        self._tracer = tracer
         self._verb_entry = self._verb if injector is None \
             else self._verb_faulted
         self._budget = 0  # message ceiling armed by arm_verb_budget
@@ -352,7 +405,9 @@ class SimExecutor:
         extra = cfg.atomic_extra_ns if (cls is CasOp or cls is FaaOp) else 0
         self.stats.count_verb(op)
         monitor = self.monitor
+        tracer = self._tracer
         token = None
+        t0 = self.engine.now if tracer is not None else 0
         if monitor is not None:
             token = monitor.on_issue(self.client_id, op, self.engine.now)
 
@@ -371,6 +426,8 @@ class SimExecutor:
         yield self._cn_nic.process(resp_bytes, arrive_delay=cfg.prop_ns)
         if monitor is not None:
             monitor.on_complete(token, self.engine.now)
+        if tracer is not None:
+            tracer.on_verb(self.client_id, op, t0, self.engine.now)
         return result
 
     def _verb_faulted(self, op: Verb):
@@ -382,6 +439,8 @@ class SimExecutor:
             raise SimulationError(
                 f"verb budget exceeded for {self.client_id}: "
                 f"{self.stats.messages} messages - livelock under faults?")
+        tracer = self._tracer
+        t0 = engine.now
         if not injector.address_ok(op):
             injector.record_nak(self.client_id, op, engine.now)
             self.stats.count_verb(op)
@@ -389,6 +448,9 @@ class SimExecutor:
             req_bytes, _ = _verb_sizes(op)
             yield self._cn_nic.process(req_bytes)
             yield engine.timeout(injector.plan.timeout_ns)
+            if tracer is not None:
+                tracer.on_verb(self.client_id, op, t0, engine.now,
+                               fault="nak")
             raise InjectedFault("NAK: unreachable address",
                                 kind="nak", addr=op.addr)
         decision = injector.decide(self.client_id, op, engine.now)
@@ -400,13 +462,19 @@ class SimExecutor:
         if kind == "delay":
             result = yield from self._verb(op)
             yield engine.timeout(decision.delay_ns)
+            if tracer is not None:
+                tracer.tag_verb(self.client_id, kind)
             return result
         if kind == "duplicate":
             result = yield from self._verb(op)
             apply_verb(self._memories, op)  # phantom retransmission
+            if tracer is not None:
+                tracer.tag_verb(self.client_id, kind)
             return result
         if kind == "stale_cas":
             result = yield from self._verb(op)
+            if tracer is not None:
+                tracer.tag_verb(self.client_id, kind)
             if op.__class__ is CasOp and result[0]:
                 return (False, op.expected)
             return result
@@ -420,6 +488,9 @@ class SimExecutor:
             # the send plus the client's completion timeout.
             yield self._cn_nic.process(req_bytes)
             yield engine.timeout(injector.plan.timeout_ns)
+            if tracer is not None:
+                tracer.on_verb(self.client_id, op, t0, engine.now,
+                               fault="drop")
             raise InjectedFault("request dropped", kind="drop",
                                 addr=op.addr, applied=False)
         # Applied at the MN; the completion never arrives.  The monitor
@@ -441,6 +512,8 @@ class SimExecutor:
         yield engine.timeout(injector.plan.timeout_ns)
         if monitor is not None:
             monitor.on_complete(token, engine.now)
+        if tracer is not None:
+            tracer.on_verb(self.client_id, op, t0, engine.now, fault="drop")
         raise InjectedFault("completion dropped", kind="drop",
                             addr=op.addr, applied=True)
 
@@ -485,6 +558,9 @@ class SimExecutor:
         Injected faults are delivered into the client generator with
         ``gen.throw``, exactly like :meth:`DirectExecutor.run`.
         """
+        if self._tracer is not None:
+            result = yield from self._run_traced(gen)
+            return result
         result = None
         pending: InjectedFault | None = None
         while True:
@@ -506,3 +582,43 @@ class SimExecutor:
             except InjectedFault as exc:
                 pending = exc
                 result = None
+
+    def _run_traced(self, gen: OpGenerator):
+        """The :meth:`run` loop with span bracketing (only entered when a
+        tracer is attached; the traced schedule stays bit-identical
+        because the tracer never creates engine events)."""
+        tracer = self._tracer
+        engine = self.engine
+        span = tracer.op_begin(self.client_id,
+                               getattr(gen, "__name__", "op"), engine.now)
+        status = "error"
+        try:
+            result = None
+            pending: InjectedFault | None = None
+            while True:
+                try:
+                    if pending is not None:
+                        exc, pending = pending, None
+                        op = gen.throw(exc)
+                    else:
+                        op = gen.send(result)
+                except StopIteration as stop:
+                    status = "ok"
+                    return stop.value
+                except RetryLimitExceeded as exc:
+                    status = "failed"
+                    exc.attach_context(self.client_id, replace(self.stats))
+                    if self._injector is not None:
+                        exc.attach_fault_trace(self._injector.trace_tuple())
+                    raise
+                if op.__class__ is not LocalCompute:
+                    tracer.on_round_trip(span)
+                try:
+                    result = yield from self._perform(op)
+                except InjectedFault as exc:
+                    tracer.on_fault(self.client_id, exc.kind,
+                                    exc.addr or 0, engine.now)
+                    pending = exc
+                    result = None
+        finally:
+            tracer.op_end(span, engine.now, status)

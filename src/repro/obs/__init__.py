@@ -1,0 +1,22 @@
+"""repro.obs - the observability layer.
+
+Structured per-op tracing, resource gauges, and the shared per-index
+counter facade, attached through ``Cluster.attach_tracer(...)``.  See
+DESIGN.md §8 for the span model and the zero-overhead contract.
+"""
+
+from .counters import Counters, client_counters
+from .trace import (FaultTag, OpSpan, ResourceSample, TraceConfig, Tracer,
+                    VerbEvent)
+from .export import (chrome_trace, iter_jsonl, profile_summary,
+                     render_profile, to_jsonl, write_chrome_trace,
+                     write_jsonl)
+
+__all__ = [
+    "Counters", "client_counters",
+    "Tracer", "TraceConfig", "OpSpan", "VerbEvent", "FaultTag",
+    "ResourceSample",
+    "to_jsonl", "iter_jsonl", "write_jsonl",
+    "chrome_trace", "write_chrome_trace",
+    "profile_summary", "render_profile",
+]

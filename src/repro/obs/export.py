@@ -1,0 +1,204 @@
+"""Trace exporters: compact JSONL, Chrome ``trace_event`` JSON, and the
+``--profile`` per-op breakdown table.
+
+All exporters are deterministic - keys are emitted in a fixed order and
+every value is a pure function of the trace - so the determinism suite
+can assert byte-identical output for byte-identical runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .trace import OpSpan, Tracer
+
+_JSON = dict(sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def _span_record(span: OpSpan) -> dict:
+    rec = {
+        "type": "span",
+        "seq": span.seq,
+        "client": span.client,
+        "name": span.name,
+        "t_start": span.t_start,
+        "t_end": span.t_end,
+        "status": span.status,
+        "retries": span.retries,
+        "round_trips": span.round_trips,
+        "messages": span.messages,
+        "bytes_read": span.bytes_read,
+        "bytes_written": span.bytes_written,
+        "verbs": [
+            {
+                "kind": v.kind,
+                "addr": v.addr,
+                "mn": v.mn,
+                "req_bytes": v.req_bytes,
+                "resp_bytes": v.resp_bytes,
+                "t_start": v.t_start,
+                "t_end": v.t_end,
+                "retry": v.retry,
+                **({"fault": v.fault} if v.fault else {}),
+            }
+            for v in span.verbs
+        ],
+    }
+    if span.faults:
+        rec["faults"] = [{"kind": f.kind, "addr": f.addr, "t": f.t}
+                         for f in span.faults]
+    return rec
+
+
+def iter_jsonl(tracer: Tracer, cell: Optional[str] = None) -> Iterator[str]:
+    """Yield one JSON line per span, then one per resource sample.
+
+    ``cell`` adds a ``"cell"`` field to every record, so multiple cells'
+    traces can share one file and stay distinguishable.
+    """
+    tag = {} if cell is None else {"cell": cell}
+    for span in tracer.spans:
+        yield json.dumps({**_span_record(span), **tag}, **_JSON)
+    for sample in tracer.samples:
+        yield json.dumps({"type": "sample", "t": sample.t,
+                          "gauges": sample.gauges, **tag}, **_JSON)
+
+
+def to_jsonl(tracer: Tracer, cell: Optional[str] = None) -> str:
+    lines = list(iter_jsonl(tracer, cell))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str,
+                cell: Optional[str] = None) -> None:
+    with open(path, "w") as fh:
+        for line in iter_jsonl(tracer, cell):
+            fh.write(line)
+            fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def chrome_trace(tracers: Sequence[Tracer],
+                 labels: Optional[Sequence[str]] = None) -> dict:
+    """Render tracers as a Chrome ``trace_event`` object (the JSON Object
+    Format: ``{"traceEvents": [...]}``) loadable in ``chrome://tracing``
+    or Perfetto.
+
+    Each tracer becomes one "process" (pid = its index, named by its
+    label), each client one "thread" inside it.  Ops are ``X`` complete
+    events with nested verb events; resource gauges become ``C`` counter
+    events.  Timestamps are microseconds as the format demands; the
+    integer-ns sim values divide exactly into fractional us.
+    """
+    if labels is None:
+        labels = [f"run{i}" for i in range(len(tracers))]
+    events: List[dict] = []
+    for pid, (tracer, label) in enumerate(zip(tracers, labels)):
+        events.append({"ph": "M", "pid": pid, "name": "process_name",
+                       "args": {"name": label}})
+        tids: Dict[str, int] = {}
+        for span in tracer.spans:
+            tid = tids.get(span.client)
+            if tid is None:
+                tid = tids[span.client] = len(tids)
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": span.client}})
+            t_end = span.t_end if span.t_end >= 0 else span.t_start
+            events.append({
+                "ph": "X", "pid": pid, "tid": tid,
+                "name": span.name, "cat": "op",
+                "ts": span.t_start / 1000,
+                "dur": (t_end - span.t_start) / 1000,
+                "args": {
+                    "status": span.status,
+                    "retries": span.retries,
+                    "round_trips": span.round_trips,
+                    "messages": span.messages,
+                    "bytes_read": span.bytes_read,
+                    "bytes_written": span.bytes_written,
+                },
+            })
+            for verb in span.verbs:
+                args = {"addr": hex(verb.addr), "mn": verb.mn,
+                        "req_bytes": verb.req_bytes,
+                        "resp_bytes": verb.resp_bytes,
+                        "retry": verb.retry}
+                if verb.fault:
+                    args["fault"] = verb.fault
+                events.append({
+                    "ph": "X", "pid": pid, "tid": tid,
+                    "name": verb.kind, "cat": "verb",
+                    "ts": verb.t_start / 1000,
+                    "dur": (verb.t_end - verb.t_start) / 1000,
+                    "args": args,
+                })
+        for sample in tracer.samples:
+            for gauge, value in sample.gauges.items():
+                events.append({
+                    "ph": "C", "pid": pid, "tid": 0,
+                    "name": gauge, "cat": "resource",
+                    "ts": sample.t / 1000,
+                    "args": {"value": value},
+                })
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(tracers: Sequence[Tracer], path: str,
+                       labels: Optional[Sequence[str]] = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracers, labels), fh, **_JSON)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# --profile breakdown
+# ---------------------------------------------------------------------------
+
+def profile_summary(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Per-op-name averages: RTTs, messages, bytes, retries, sim-time.
+
+    Built from the tracer's running totals, so it stays exact even when
+    ``max_spans`` capped the exported span list.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name in sorted(tracer.op_totals):
+        agg = tracer.op_totals[name]
+        n = agg["count"]
+        out[name] = {
+            "count": n,
+            "failed": agg["failed"],
+            "round_trips": agg["round_trips"] / n,
+            "messages": agg["messages"] / n,
+            "bytes_read": agg["bytes_read"] / n,
+            "bytes_written": agg["bytes_written"] / n,
+            "retries": agg["retries"] / n,
+            "avg_us": agg["sim_ns"] / n / 1000,
+        }
+    return out
+
+
+def render_profile(profiles: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Format ``{cell label: profile_summary(...)}`` as the ``--profile``
+    breakdown table."""
+    header = (f"{'cell':<28} {'op':<10} {'count':>7} {'fail':>5} "
+              f"{'rtt/op':>7} {'msg/op':>7} {'rdB/op':>8} {'wrB/op':>8} "
+              f"{'retry':>6} {'avg_us':>8}")
+    lines = [header, "-" * len(header)]
+    for label in profiles:
+        for op, row in profiles[label].items():
+            lines.append(
+                f"{label:<28} {op:<10} {row['count']:>7.0f} "
+                f"{row['failed']:>5.0f} {row['round_trips']:>7.2f} "
+                f"{row['messages']:>7.2f} {row['bytes_read']:>8.1f} "
+                f"{row['bytes_written']:>8.1f} {row['retries']:>6.2f} "
+                f"{row['avg_us']:>8.2f}")
+    return "\n".join(lines)

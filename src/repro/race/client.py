@@ -120,6 +120,13 @@ class RaceClient:
         self.splits = 0
         self.stale_refreshes = 0
 
+    def counters(self):
+        """Snapshot into the shared :class:`repro.obs.Counters` shape."""
+        from ..obs.counters import Counters
+        return Counters({"splits": self.splits,
+                         "stale_refreshes": self.stale_refreshes,
+                         "directory_cache_entries": len(self._dir_cache)})
+
     # -- directory cache ------------------------------------------------
     def directory_cache_bytes(self) -> int:
         """CN-side memory the directory cache occupies (8 B per entry)."""

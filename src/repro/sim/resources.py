@@ -71,6 +71,13 @@ class FifoServer:
             return 0.0
         return self.busy_time / (self.engine.now * self.capacity)
 
+    def backlog_ns(self, now: int) -> int:
+        """Accepted-but-unfinished work, in ns, ahead of a job arriving
+        at simulated time ``now`` - the queue-depth gauge sampled by
+        :class:`repro.obs.Tracer`."""
+        free = self._free1 if self.capacity == 1 else self._free_at[0]
+        return free - now if free > now else 0
+
     def reset_stats(self) -> None:
         self.busy_time = 0
         self.jobs = 0

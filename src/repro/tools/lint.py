@@ -17,6 +17,10 @@ rules catch the same classes of bug at rest:
 * **L004** - ``raise`` of a builtin exception type.  Library errors must
   derive from :class:`repro.errors.ReproError` so callers can catch
   library failures without masking programming errors.
+* **L005** - a compiled ``.pyc`` file tracked by git.  Bytecode is
+  interpreter-specific build output; committing it bloats diffs and can
+  shadow source changes.  ``.gitignore`` keeps new ones out; this rule
+  fails the build if one sneaks back in.
 
 Suppressions: append ``# lint: disable=L001`` to the offending line, or
 put ``# lint: disable-file=L001`` in the first ten lines of a file.
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import ast
 import re
+import subprocess
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -185,6 +190,37 @@ def lint_paths(paths: Sequence[Path]) -> List[Finding]:
     return findings
 
 
+def lint_tracked_pyc(start: Path | None = None) -> List[Finding]:
+    """L005: ``.pyc`` files tracked by git.
+
+    Resolves the repository containing ``start`` (default: this package)
+    and asks ``git ls-files`` for tracked bytecode.  Outside a git
+    checkout - an sdist, a plain copy - there is nothing to check and
+    the rule passes silently.
+    """
+    where = (start if start is not None else Path(__file__)).resolve()
+    if where.is_file():
+        where = where.parent
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"], cwd=where,
+            capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if top.returncode != 0:
+        return []
+    root = top.stdout.strip()
+    tracked = subprocess.run(
+        ["git", "ls-files", "--", "*.pyc"], cwd=root,
+        capture_output=True, text=True, timeout=30)
+    if tracked.returncode != 0:
+        return []
+    return [Finding(path, 0, "L005",
+                    "tracked .pyc: bytecode is build output, untrack it "
+                    "(git rm --cached) - __pycache__/ is gitignored")
+            for path in sorted(tracked.stdout.splitlines()) if path]
+
+
 def default_target() -> Path:
     """The installed ``repro`` package (what CI lints)."""
     return Path(__file__).resolve().parent.parent
@@ -200,6 +236,7 @@ def main(argv: Iterable[str] | None = None) -> int:
                   file=sys.stderr)
         return 2
     findings = lint_paths(targets)
+    findings.extend(lint_tracked_pyc(targets[0]))
     for finding in findings:
         print(finding.render())
     counts: Dict[str, int] = {}

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from ..dm.cluster import Cluster
 from ..dm.rdma import OpStats
 from ..errors import ConfigError, InjectedFault, RetryLimitExceeded
+from ..obs.counters import Counters, client_counters
 from ..sim.resources import LatencyRecorder
 from ..util.zipf import (
     LatestGenerator,
@@ -45,7 +46,7 @@ class RunResult:
     latency: LatencyRecorder
     op_stats: OpStats
     nic_utilization: Dict[str, float] = field(default_factory=dict)
-    client_metrics: Dict[str, int] = field(default_factory=dict)
+    client_metrics: Counters = field(default_factory=Counters)
     latency_by_op: Dict[str, LatencyRecorder] = field(default_factory=dict)
     # Chaos accounting: ops that surfaced a clean failure under fault
     # injection, and the injector's fired-fault counters.  Both stay at
@@ -58,6 +59,11 @@ class RunResult:
     # events, ...).  Filled by the harness grid runner; not part of row(),
     # which only carries simulated-world outputs.
     perf: Optional[dict] = None
+    # Observability (--profile): the per-op breakdown and the finished
+    # repro.obs.Tracer that produced it.  Both stay None when no tracer
+    # is attached; neither is part of row().
+    profile: Optional[dict] = None
+    trace: Optional[object] = None
 
     @property
     def throughput_mops(self) -> float:
@@ -82,13 +88,19 @@ class RunResult:
     def p99_latency_us(self) -> float:
         return self.latency.percentile(99) / 1e3
 
+    def verb_counters(self) -> Counters:
+        """The executor-level verb totals in the shared facade shape."""
+        return Counters.from_opstats(self.op_stats)
+
     @property
     def round_trips_per_op(self) -> float:
-        return self.op_stats.round_trips / self.ops if self.ops else 0.0
+        return self.verb_counters()["round_trips"] / self.ops \
+            if self.ops else 0.0
 
     @property
     def messages_per_op(self) -> float:
-        return self.op_stats.messages / self.ops if self.ops else 0.0
+        return self.verb_counters()["messages"] / self.ops \
+            if self.ops else 0.0
 
     def row(self) -> dict:
         return {
@@ -277,13 +289,8 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
     for cn, nic in cluster.cn_nics.items():
         nic_util[f"cn{cn}"] = round(nic.server.busy_time
                                     / max(sim_ns, 1), 4)
-    metrics: Dict[str, int] = {}
-    for cn in range(num_cns):
-        client_metrics = index.client(cn).metrics
-        items = client_metrics.as_dict().items() \
-            if hasattr(client_metrics, "as_dict") else client_metrics.items()
-        for name, value in items:
-            metrics[name] = metrics.get(name, 0) + value
+    metrics = Counters.aggregate(
+        client_counters(index.client(cn)) for cn in range(num_cns))
     return RunResult(system=system, workload=spec.name,
                      dataset=dataset.name, workers=workers, ops=actual_ops,
                      sim_ns=sim_ns, latency=latency, op_stats=stats,

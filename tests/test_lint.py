@@ -5,7 +5,8 @@ import sys
 import textwrap
 from pathlib import Path
 
-from repro.tools.lint import default_target, lint_file, lint_paths, main
+from repro.tools.lint import default_target, lint_file, lint_paths, \
+    lint_tracked_pyc, main
 
 
 def lint_source(tmp_path, source, name="sample.py"):
@@ -200,3 +201,30 @@ def test_syntax_error_reported_not_crashed(tmp_path):
     bad.write_text("def f(:\n")
     findings = lint_file(bad)
     assert rules(findings) == ["L000"]
+
+
+# ---------------------------------------------------------------------------
+# L005: tracked bytecode
+# ---------------------------------------------------------------------------
+
+def test_l005_repo_has_no_tracked_pyc():
+    assert lint_tracked_pyc() == []
+
+
+def test_l005_fires_on_tracked_pyc(tmp_path):
+    subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+    pycache = tmp_path / "pkg" / "__pycache__"
+    pycache.mkdir(parents=True)
+    (pycache / "m.cpython-312.pyc").write_bytes(b"\x00")
+    (tmp_path / "pkg" / "m.py").write_text("x = 1\n")
+    subprocess.run(["git", "-C", str(tmp_path), "add", "-f", "."],
+                   check=True)
+    findings = lint_tracked_pyc(tmp_path)
+    assert rules(findings) == ["L005"]
+    assert "bytecode is build output" in findings[0].message
+    assert findings[0].path.endswith(".pyc")
+
+
+def test_l005_silent_outside_a_git_checkout(tmp_path):
+    # An exported tree (sdist, plain copy) has nothing to check.
+    assert lint_tracked_pyc(tmp_path) == []
