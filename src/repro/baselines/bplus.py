@@ -248,7 +248,8 @@ class BplusClient:
         idle = _Header(STATUS_IDLE, header.is_leaf, header.count,
                        header.version)
         locked = _Header(1, header.is_leaf, header.count, header.version)
-        swapped, _ = yield CasOp(addr, idle.pack(), locked.pack())
+        swapped, _ = yield CasOp(addr, idle.pack(), locked.pack(),
+                                 lease=("node",))
         return swapped
 
     def _write_and_unlock(self, addr: int, is_leaf: bool, version: int,
@@ -256,7 +257,7 @@ class BplusClient:
                           link: Optional[Tuple[bytes, int]] = None):
         image = _encode_node(self.config, STATUS_IDLE, is_leaf,
                              version + 1, entries, link=link)
-        yield WriteOp(addr, image)
+        yield WriteOp(addr, image, lease=("release",))
 
     # -- search -------------------------------------------------------------
     def search(self, key: bytes):
@@ -277,7 +278,9 @@ class BplusClient:
 
     def _search_once(self, key: bytes):
         _addr, view = yield from self._read_root()
-        for _hop in range(512):
+        # Descent + B-link lateral-hop cap (tree geometry), not a retry
+        # budget; genuine retries wrap this in the policy-bound caller.
+        for _hop in range(512):  # lint: disable=L006
             if view.header.status == STATUS_INVALID:
                 return _RETRY
             # B-link lateral move: a concurrent split may have shifted the
@@ -420,7 +423,7 @@ class BplusClient:
     def _unlock_only(self, addr: int, view: _NodeView):
         header = _Header(STATUS_IDLE, view.header.is_leaf,
                          view.header.count, view.header.version + 1)
-        yield WriteOp(addr, u64_to_bytes(header.pack()))
+        yield WriteOp(addr, u64_to_bytes(header.pack()), lease=("release",))
 
     def _split_child(self, parent_addr: int, parent: _NodeView,
                      child_index: int, child_addr: int, child: _NodeView):
@@ -446,8 +449,9 @@ class BplusClient:
         # Publish right sibling, then rewrite child and parent (both
         # locked by us), releasing the locks with the rewrites.
         yield Batch([WriteOp(right_addr, right_image),
-                     WriteOp(child_addr, left_image),
-                     WriteOp(parent_addr, parent_image)])
+                     WriteOp(child_addr, left_image, lease=("release",)),
+                     WriteOp(parent_addr, parent_image,
+                             lease=("release",))])
         self.metrics["splits"] += 1
 
     def _split_root(self, root_addr: int, root: _NodeView):
@@ -471,7 +475,7 @@ class BplusClient:
         ])
         yield WriteOp(root_addr, _encode_node(
             config, STATUS_IDLE, False, root.header.version + 1,
-            new_root_entries))
+            new_root_entries), lease=("release",))
         self.metrics["splits"] += 1
 
     # -- scan ------------------------------------------------------------------

@@ -19,8 +19,13 @@ nonzero on a wall-clock regression past 20 %.
 
 Chaos mode: ``--chaos`` attaches the deterministic
 ``FaultPlan.chaos(--chaos-seed)`` fault mix to every fig4/fig5 cell and
-reports goodput (successful ops/s) next to raw throughput.  ``--workloads
-A,C`` and ``--systems Sphinx,ART`` narrow the grid.
+reports goodput (successful ops/s) next to raw throughput.
+``--chaos-crashes`` additionally mixes in crash scenarios - ``crash_cn``
+kills a client generator mid-op (its orphaned locks are reclaimed by the
+attached ``repro.recover`` manager's lease protocol) and ``crash_mn``
+blanks a memory node (ops against it fail fast with ``MNUnavailable``) -
+and reports how many workers died per cell.  ``--workloads A,C`` and
+``--systems Sphinx,ART`` narrow the grid.
 
 Profile mode: ``--profile`` attaches a ``repro.obs`` tracer to every
 fig4/fig5 cell and prints the per-op round-trip/bytes/retry breakdown;
@@ -89,6 +94,10 @@ def main(argv=None) -> int:
                              "fig4/fig5 cell and report goodput")
     parser.add_argument("--chaos-seed", type=int, default=42,
                         help="seed of the chaos fault plan (default 42)")
+    parser.add_argument("--chaos-crashes", action="store_true",
+                        help="with --chaos: mix in crash_cn/crash_mn "
+                             "scenarios, attach the recovery manager and "
+                             "report crashed workers per cell")
     parser.add_argument("--profile", action="store_true",
                         help="attach a repro.obs tracer to every fig4/fig5 "
                              "cell and print the per-op breakdown")
@@ -116,6 +125,8 @@ def main(argv=None) -> int:
         if name not in SYSTEMS + ("Sphinx-NoFilter",):
             parser.error(f"unknown system {name!r}")
     chaos_seed = args.chaos_seed if args.chaos else None
+    if args.chaos_crashes and not args.chaos:
+        parser.error("--chaos-crashes requires --chaos")
     if (args.trace_out or args.trace_jsonl) and not args.profile:
         parser.error("--trace-out/--trace-jsonl require --profile")
     profiles = {}
@@ -127,6 +138,7 @@ def main(argv=None) -> int:
                              ops=args.ops, workers=args.workers,
                              systems=systems, parallel=args.parallel,
                              workloads=workloads, chaos_seed=chaos_seed,
+                             chaos_crashes=args.chaos_crashes,
                              profile=args.profile)
             if args.chaos:
                 print(render_chaos(fig4, args.chaos_seed))
@@ -141,6 +153,7 @@ def main(argv=None) -> int:
                                     ops=args.ops, systems=systems,
                                     parallel=args.parallel,
                                     chaos_seed=chaos_seed,
+                                    chaos_crashes=args.chaos_crashes,
                                     profile=args.profile)
             print(render_fig5(fig5))
             for label, prof in fig5.profiles.items():

@@ -41,6 +41,7 @@ def _result_row(run, chaos_seed: Optional[int]) -> dict:
         row["goodput_mops"] = round(run.goodput_mops, 4)
         row["failed_ops"] = run.failed_ops
         row["faults_injected"] = sum(run.faults.values())
+        row["crashed_workers"] = run.crashed_workers
     return row
 
 
@@ -75,6 +76,7 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
               parallel: Optional[int] = None,
               workloads=FIG4_WORKLOADS,
               chaos_seed: Optional[int] = None,
+              chaos_crashes: bool = False,
               profile: bool = False) -> Fig4Result:
     """The YCSB throughput grid (paper Fig 4, one dataset).
 
@@ -86,7 +88,10 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
 
     ``chaos_seed`` attaches a :func:`repro.fault.FaultPlan.chaos` plan to
     every cell's private cluster copy; the rows then also carry goodput
-    and fault counters (``--chaos`` mode).
+    and fault counters (``--chaos`` mode).  ``chaos_crashes`` extends the
+    mix with ``crash_cn``/``crash_mn`` scenarios and attaches a
+    :class:`repro.recover.RecoveryManager` (``--chaos-crashes`` mode);
+    the rows then also report ``crashed_workers``.
 
     ``profile`` attaches a :class:`repro.obs.Tracer` to every cell;
     ``result.profiles``/``result.traces`` come back keyed by
@@ -107,7 +112,8 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
                  workload=workload_name, num_keys=num_keys,
                  ops=scan_ops if workload_name == "E" else ops,
                  workers=scan_workers if workload_name == "E" else workers,
-                 seed=0, chaos_seed=chaos_seed, profile=profile)
+                 seed=0, chaos_seed=chaos_seed,
+                 chaos_crashes=chaos_crashes, profile=profile)
         for system in systems for workload_name in workloads
     ]
     for run in run_grid(cells, parallel):
@@ -143,9 +149,10 @@ def render_fig4(result: Fig4Result) -> str:
 def render_chaos(result: Fig4Result, chaos_seed: int) -> str:
     """Goodput-under-faults table for a chaos-mode fig4 grid."""
     headers = ["system", "workload", "Mops", "goodput Mops", "failed",
-               "faults"]
+               "faults", "crashed"]
     rows = [[r["system"], r["workload"], mops(r["throughput_mops"]),
-             mops(r["goodput_mops"]), r["failed_ops"], r["faults_injected"]]
+             mops(r["goodput_mops"]), r["failed_ops"], r["faults_injected"],
+             r.get("crashed_workers", 0)]
             for r in result.rows]
     out = [banner(f"Chaos - YCSB goodput under FaultPlan.chaos"
                   f"(seed={chaos_seed}), {result.dataset} dataset"),
@@ -185,13 +192,15 @@ def fig5_scalability(dataset_name: str, num_keys: int = DEFAULT_KEYS,
                      worker_counts=FIG5_WORKERS,
                      parallel: Optional[int] = None,
                      chaos_seed: Optional[int] = None,
+                     chaos_crashes: bool = False,
                      profile: bool = False) -> Fig5Result:
     """Throughput-latency curves for YCSB-A (paper Fig 5, one dataset)."""
     result = Fig5Result(dataset_name)
     cells = [
         CellSpec(system=system, dataset=dataset_name, workload="A",
                  num_keys=num_keys, ops=ops, workers=workers, seed=workers,
-                 chaos_seed=chaos_seed, profile=profile)
+                 chaos_seed=chaos_seed, chaos_crashes=chaos_crashes,
+                 profile=profile)
         for system in systems for workers in worker_counts
     ]
     for run in run_grid(cells, parallel):

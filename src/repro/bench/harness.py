@@ -174,6 +174,13 @@ class CellSpec:
     warming stay fault-free (and snapshot-shareable with non-chaos
     cells): the seed is deliberately absent from load_key()/warm_key()."""
 
+    chaos_crashes: bool = False
+    """With ``chaos_seed``: extend the chaos mix with crash scenarios
+    (``crash_cn`` mid-op client kills and a possible ``crash_mn``).  A
+    :class:`repro.recover.RecoveryManager` is attached alongside so the
+    run exercises lease reclamation; ``result.crashed_workers`` reports
+    how many workers died."""
+
     profile: bool = False
     """When set, a ``repro.obs.Tracer`` is attached to the cell's private
     cluster copy right before the timed run; ``result.profile`` and
@@ -271,7 +278,12 @@ def run_cell(cell: CellSpec) -> RunResult:
     live = copy.deepcopy(_warmed_setup(cell))
     if cell.chaos_seed is not None:
         from ..fault import FaultPlan
-        live.cluster.attach_faults(FaultPlan.chaos(cell.chaos_seed))
+        live.cluster.attach_faults(
+            FaultPlan.chaos(cell.chaos_seed, crashes=cell.chaos_crashes))
+        if cell.chaos_crashes:
+            # Crash cells also run the recovery stack: leases are stamped
+            # on every lock CAS and survivors can reclaim orphans.
+            live.cluster.attach_recovery()
     tracer = None
     if cell.profile:
         tracer = live.cluster.attach_tracer()

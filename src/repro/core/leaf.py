@@ -27,25 +27,25 @@ from ..art.layout import (
 )
 from ..dm.rdma import CasOp, LocalCompute, ReadOp, WriteOp
 from ..errors import InvalidArgument, RetryLimitExceeded
+from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 
 LEAF_CATEGORY = "leaf"
-READ_RETRIES = 16
-RETRY_BACKOFF_NS = 1_000
 
 
-def read_leaf(addr: int, units: int):
+def read_leaf(addr: int, units: int, retry: RetryPolicy = DEFAULT_RETRY):
     """Read and decode a leaf, retrying torn (checksum-failing) reads.
 
     Returns a :class:`LeafView`; ``view.status`` may be ``STATUS_INVALID``
     (deleted) or ``STATUS_LOCKED`` (update in flight) - callers decide how
-    to react.  Raises after ``READ_RETRIES`` consecutive torn reads.
+    to react.  Raises after ``retry.torn_read_retries`` consecutive torn
+    reads (lint L006: every retry loop is bound by the one RetryPolicy).
     """
-    for attempt in range(READ_RETRIES):
+    for attempt in range(retry.torn_read_retries):
         data = yield ReadOp(addr, units * LEAF_ALIGN)
         view = decode_leaf(data)
         if view.checksum_ok or view.status == STATUS_INVALID:
             return view
-        yield LocalCompute(RETRY_BACKOFF_NS * (attempt + 1))
+        yield LocalCompute(retry.torn_read_delay(attempt))
     raise RetryLimitExceeded("leaf kept failing checksum", addr=addr)
 
 
@@ -64,12 +64,13 @@ def in_place_update(addr: int, view: LeafView, new_value: bytes):
                                  len(view.key), len(view.value))
     locked_word = leaf_status_word(STATUS_LOCKED, view.units,
                                    len(view.key), len(view.value))
-    swapped, _old = yield CasOp(addr, idle_word, locked_word)
+    swapped, _old = yield CasOp(addr, idle_word, locked_word,
+                                lease=("leaf",))
     if not swapped:
         return False
     image = encode_leaf(view.key, new_value, STATUS_IDLE,
                         units=view.units, version=view.version + 1)
-    yield WriteOp(addr, image)
+    yield WriteOp(addr, image, lease=("release",))
     return True
 
 

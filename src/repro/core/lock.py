@@ -34,17 +34,27 @@ def try_lock_node(addr: int, header: Header):
 
     ``header`` must be the header as last read (status Idle); a failed CAS
     means another writer got there first or the node went Invalid.
+
+    The CAS carries a ``("node",)`` lease tag: when a
+    :class:`repro.recover.RecoveryManager` is attached, the executor
+    records who acquired this word so an orphaned lock (its owner
+    crashed) can be expired and CAS-reclaimed.  The header itself has no
+    spare bits for an owner/epoch, so the lease lives CN-side.
     """
     idle = idle_header(header)
-    swapped, _old = yield CasOp(addr, idle.pack(), locked_header(header).pack())
+    swapped, _old = yield CasOp(addr, idle.pack(),
+                                locked_header(header).pack(),
+                                lease=("node",))
     return swapped
 
 
 def unlock_op(addr: int, header: Header) -> WriteOp:
     """The verb releasing a lock we hold (plain write; we own the node)."""
-    return WriteOp(addr, u64_to_bytes(idle_header(header).pack()))
+    return WriteOp(addr, u64_to_bytes(idle_header(header).pack()),
+                   lease=("release",))
 
 
 def invalidate_op(addr: int, header: Header) -> WriteOp:
     """The verb retiring a node after a type switch (write Invalid)."""
-    return WriteOp(addr, u64_to_bytes(invalid_header(header).pack()))
+    return WriteOp(addr, u64_to_bytes(invalid_header(header).pack()),
+                   lease=("release",))

@@ -325,7 +325,21 @@ class RemoteArtTree:
                 if result is not RETRY:
                     return result
                 self.metrics.op_restarts += 1
-            yield LocalCompute(self._backoff_delay(attempt))
+            delay = self._backoff_delay(attempt)
+            if deadline is not None:
+                # Clamp the sleep to the remaining budget: the final
+                # backoff must not overshoot op_timeout_ns before the
+                # deadline check fires (an op that times out should do
+                # so at the deadline, not a full backoff past it).
+                remaining = deadline - self.cluster.engine.now
+                if remaining <= 0:
+                    raise RetryLimitExceeded(
+                        f"{op_name}({ctx.key!r}) timed out after "
+                        f"{retry.op_timeout_ns} ns of retries",
+                        addr=self.root_addr)
+                if delay > remaining:
+                    delay = remaining
+            yield LocalCompute(delay)
             if deadline is not None and self.cluster.engine.now >= deadline:
                 raise RetryLimitExceeded(
                     f"{op_name}({ctx.key!r}) timed out after "
@@ -562,7 +576,7 @@ class RemoteArtTree:
         unlocked = Header(STATUS_IDLE, header.node_type, header.depth,
                           header.prefix_hash, count + 1)
         cas, _w = yield Batch([
-            CasOp(node_addr, idle.pack(), locked.pack()),
+            CasOp(node_addr, idle.pack(), locked.pack(), lease=("node",)),
             WriteOp(leaf_addr, leaf_image),
         ])
         if not cas[0]:
@@ -572,7 +586,8 @@ class RemoteArtTree:
         yield Batch([
             WriteOp(self._slot_addr(node_addr, count),
                     u64_to_bytes(slot_word)),
-            WriteOp(node_addr, u64_to_bytes(unlocked.pack())),
+            WriteOp(node_addr, u64_to_bytes(unlocked.pack()),
+                    lease=("release",)),
         ])
         return True
 
@@ -584,7 +599,7 @@ class RemoteArtTree:
         hole left by a delete if one exists, otherwise type-switch."""
         cas, _w = yield Batch([
             CasOp(node_addr, idle_header(view.header).pack(),
-                  locked_header(view.header).pack()),
+                  locked_header(view.header).pack(), lease=("node",)),
             WriteOp(leaf_addr, leaf_image),
         ])
         if not cas[0]:
@@ -656,7 +671,7 @@ class RemoteArtTree:
         trips), which is both cheaper and far less convoy-prone.
         """
         if leaf_units_for(len(leaf.key), len(value)) <= leaf.units:
-            for attempt in range(8):
+            for attempt in range(self.retry.inplace_update_retries):
                 ok = yield from leaf_ops.in_place_update(slot.addr, leaf,
                                                          value)
                 if ok:
@@ -677,7 +692,7 @@ class RemoteArtTree:
                                 len(leaf.value))
         locked = leaf_status_word(STATUS_LOCKED, leaf.units, len(leaf.key),
                                   len(leaf.value))
-        swapped, _ = yield CasOp(slot.addr, idle, locked)
+        swapped, _ = yield CasOp(slot.addr, idle, locked, lease=("leaf",))
         if not swapped:
             return RETRY
         new_addr, units = self._alloc_leaf(leaf.key, value)
@@ -687,7 +702,8 @@ class RemoteArtTree:
         ok = yield from self._replace_slot(node_addr, view, slot, new_word)
         if not ok:
             # Roll back: release the old leaf and drop the new one.
-            unlocked, _ = yield CasOp(slot.addr, locked, idle)
+            unlocked, _ = yield CasOp(slot.addr, locked, idle,
+                                      lease=("release",))
             if not unlocked:
                 # We hold this leaf's lock; nobody may touch the word.
                 raise ReproError(
@@ -697,7 +713,8 @@ class RemoteArtTree:
             return RETRY
         invalid = leaf_status_word(STATUS_INVALID, leaf.units, len(leaf.key),
                                    len(leaf.value))
-        yield WriteOp(slot.addr, invalid.to_bytes(8, "little"))
+        yield WriteOp(slot.addr, invalid.to_bytes(8, "little"),
+                      lease=("release",))
         self._free_leaf(slot.addr, leaf.units)
         return True
 
@@ -829,7 +846,8 @@ class RemoteArtTree:
         if located is RETRY:
             return None
         cur_addr, cur, _trusted = located
-        for _ in range(256):
+        # Descent-depth cap (max key length), not a retry budget.
+        for _ in range(256):  # lint: disable=L006
             header = cur.header
             if header.status == STATUS_INVALID or header.depth >= child_depth:
                 return None
@@ -1077,7 +1095,8 @@ class RemoteArtTree:
         cur = yield from self._read_node(cur_addr, NODE256)
         if cur is None:
             return RETRY
-        for _ in range(256):
+        # Descent-depth cap (max key length), not a retry budget.
+        for _ in range(256):  # lint: disable=L006
             header = cur.header
             if header.status == STATUS_INVALID:
                 return RETRY

@@ -26,7 +26,12 @@ from typing import Dict, List, Tuple
 from ..art.layout import NODE256, STATUS_INVALID, decode_node, node_size
 from ..dm.cluster import Cluster
 from ..dm.rdma import Batch, LocalCompute, ReadOp
-from ..errors import InjectedFault, ReproError, RetryLimitExceeded
+from ..errors import (
+    InjectedFault,
+    MNUnavailable,
+    ReproError,
+    RetryLimitExceeded,
+)
 from ..fault.retry import DEFAULT_RETRY, RetryPolicy
 from ..filters.hotness import SuccinctFilterCache
 from ..race.layout import TableParams
@@ -204,11 +209,12 @@ class SphinxClient(RemoteArtTree):
                 continue
             try:
                 found = yield from self._fetch_via_inht(prefix, depth)
-            except (RetryLimitExceeded, InjectedFault):
+            except (RetryLimitExceeded, InjectedFault, MNUnavailable):
                 # An INHT bucket stuck behind an abandoned segment-split
-                # lock (or an injected fabric fault on the INHT path)
-                # must not take searches down with it: the tree is
-                # still intact, so degrade to root traversal.
+                # lock, an injected fabric fault on the INHT path, or a
+                # crashed MN hosting the table must not take searches
+                # down with it: the tree is still intact, so degrade to
+                # root traversal.
                 self.inht_fallbacks += 1
                 break
             if found is not None:
@@ -225,7 +231,9 @@ class SphinxClient(RemoteArtTree):
         """Hash-entry read + doorbell-batched candidate node reads,
         validated by header depth + 42-bit prefix hash."""
         target_hash = prefix_hash42(prefix)
-        for _attempt in range(2):
+        # One extra attempt is intrinsic: a type switch's fresh entry
+        # lands within one round trip (backoff below is policy-derived).
+        for _attempt in range(2):  # lint: disable=L006
             matches = yield from self.inht.lookup(prefix)
             if not matches:
                 return None
@@ -265,13 +273,23 @@ class SphinxClient(RemoteArtTree):
             if view is None:
                 return RETRY
             return self.root_addr, view, True
-        probes = yield from self.inht.probe_all(
-            [key[:d] for d in range(1, max_depth + 1)])
+        try:
+            probes = yield from self.inht.probe_all(
+                [key[:d] for d in range(1, max_depth + 1)])
+        except MNUnavailable:
+            # The MN hosting a probed table crashed: the base design's
+            # batched probe cannot complete, but the tree survives.
+            self.inht_fallbacks += 1
+            probes = {}
         for depth in range(max_depth, 0, -1):
             prefix = key[:depth]
             matches = probes.get(prefix)
             if matches is None:  # stale/locked group: precise fallback
-                matches = yield from self.inht.lookup(prefix)
+                try:
+                    matches = yield from self.inht.lookup(prefix)
+                except MNUnavailable:
+                    self.inht_fallbacks += 1
+                    continue
             if not matches:
                 continue
             found = yield from self._validate_candidates(prefix, depth,

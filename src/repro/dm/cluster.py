@@ -68,6 +68,7 @@ class Cluster:
         self.monitor = None        # optional DMSan AccessMonitor
         self.injector = None       # optional repro.fault FaultInjector
         self.tracer = None         # optional repro.obs Tracer
+        self.recovery = None       # optional repro.recover RecoveryManager
         self._client_seq = 0
         self._seed_seq = 0
 
@@ -131,6 +132,29 @@ class Cluster:
         tracer, self.tracer = self.tracer, None
         return tracer
 
+    # -- crash recovery ----------------------------------------------------
+    def attach_recovery(self, config=None):
+        """Create a :class:`repro.recover.RecoveryManager`, attach it, and
+        return it.
+
+        Mirrors :meth:`attach_monitor` / :meth:`attach_faults` /
+        :meth:`attach_tracer`: executors created *after* this call report
+        lease-tagged lock verbs into the manager's
+        :class:`repro.recover.LeaseTable`; executors created before it -
+        and every cluster with no manager attached - run the exact
+        pre-recovery path, so schedules and OpStats stay bit-identical.
+        """
+        from ..recover import RecoveryManager  # local: recover uses dm
+        manager = RecoveryManager(self, config)
+        self.recovery = manager
+        return manager
+
+    def detach_recovery(self):
+        """Stop lease tracking: executors created from here on run the
+        clean path.  Returns the detached manager."""
+        manager, self.recovery = self.recovery, None
+        return manager
+
     def _next_client_id(self, prefix: str) -> str:
         self._client_seq += 1
         return f"{prefix}#{self._client_seq}"
@@ -172,24 +196,30 @@ class Cluster:
 
     # -- executors ---------------------------------------------------------
     def direct_executor(self, stats: OpStats | None = None) -> DirectExecutor:
+        recovery = self.recovery
         return DirectExecutor(self.memories, stats,
                               monitor=self.monitor,
                               client_id=self._next_client_id("direct"),
                               clock=lambda: self.engine.now,
                               injector=self.injector,
-                              tracer=self.tracer)
+                              tracer=self.tracer,
+                              lease_hook=None if recovery is None
+                              else recovery.lease_table.on_verb)
 
     def sim_executor(self, cn_id: int,
                      stats: OpStats | None = None) -> SimExecutor:
         if cn_id not in self.cn_nics:
             raise ConfigError(f"no such compute node {cn_id}")
+        recovery = self.recovery
         return SimExecutor(self.engine, self.memories,
                            self.cn_nics[cn_id], self.mn_nics,
                            self.config.network, stats,
                            monitor=self.monitor,
                            client_id=self._next_client_id(f"cn{cn_id}"),
                            injector=self.injector,
-                           tracer=self.tracer)
+                           tracer=self.tracer,
+                           lease_hook=None if recovery is None
+                           else recovery.lease_table.on_verb)
 
     # -- accounting --------------------------------------------------------
     def mn_bytes_by_category(self) -> Dict[str, int]:

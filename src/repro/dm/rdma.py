@@ -26,7 +26,8 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Generator, Mapping, Optional, Sequence, \
     Tuple, Union
 
-from ..errors import InjectedFault, RetryLimitExceeded, SimulationError
+from ..errors import ClientCrash, InjectedFault, MNUnavailable, \
+    RetryLimitExceeded, SimulationError
 from .memory import Memory, addr_mn, addr_offset
 from .network import Nic
 
@@ -34,6 +35,14 @@ from .network import Nic
 # --------------------------------------------------------------------------
 # Verb descriptors
 # --------------------------------------------------------------------------
+#
+# ``lease`` on WriteOp/CasOp is recovery metadata, not protocol state: a
+# lock-acquiring CAS tags itself ``("node",) / ("leaf",) / ("hash", ...)``
+# and the verb that releases the lock tags ``("release",)``.  The fabric
+# ignores it entirely; only a :class:`repro.recover.LeaseTable` bound via
+# ``Cluster.attach_recovery`` reads it (the node header has no spare bits
+# for an owner/epoch, so the lease lives CN-side).  The ``None`` default
+# keeps untagged verbs - and every pre-recovery schedule - byte-identical.
 
 @dataclass(frozen=True)
 class ReadOp:
@@ -47,6 +56,7 @@ class WriteOp:
     """RDMA WRITE of ``data`` at global address ``addr`` -> None."""
     addr: int
     data: bytes
+    lease: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,7 @@ class CasOp:
     addr: int
     expected: int
     desired: int
+    lease: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -186,7 +197,7 @@ class DirectExecutor:
                  stats: OpStats | None = None, *,
                  monitor=None, client_id: str = "direct",
                  clock: Optional[Callable[[], int]] = None,
-                 injector=None, tracer=None):
+                 injector=None, tracer=None, lease_hook=None):
         self._memories = memories
         self.stats = stats if stats is not None else OpStats()
         self.monitor = monitor
@@ -194,9 +205,11 @@ class DirectExecutor:
         self._clock = clock if clock is not None else (lambda: 0)
         self._injector = injector
         self._tracer = tracer
+        self._lease_hook = lease_hook
         self._apply_entry = self._apply if injector is None \
             else self._apply_faulted
         self._budget = 0  # message ceiling armed by arm_verb_budget
+        self._crashed = False  # latched by a crash_cn decision
 
     def arm_verb_budget(self, extra_messages: int) -> None:
         """Fail with SimulationError once ``stats.messages`` exceeds its
@@ -207,7 +220,8 @@ class DirectExecutor:
     def _apply(self, verb: Verb) -> Any:
         monitor = self.monitor
         tracer = self._tracer
-        if monitor is None and tracer is None:
+        if monitor is None and tracer is None \
+                and self._lease_hook is None:
             return apply_verb(self._memories, verb)
         now = self._clock()
         if monitor is None:
@@ -217,6 +231,9 @@ class DirectExecutor:
             result = apply_verb(self._memories, verb)
             monitor.on_apply(token, now, result)
             monitor.on_complete(token, now)
+        if self._lease_hook is not None \
+                and getattr(verb, "lease", None) is not None:
+            self._lease_hook(self.client_id, verb, result, now)
         if tracer is not None:
             tracer.on_verb(self.client_id, verb, now, now)
         return result
@@ -226,6 +243,20 @@ class DirectExecutor:
         attached, so the clean path stays untouched)."""
         injector = self._injector
         now = self._clock()
+        if self._crashed:
+            raise ClientCrash(
+                f"client {self.client_id} has crashed (crash_cn)",
+                client=self.client_id)
+        if injector.dead_mns:
+            # Before address_ok: a blanked region still passes the range
+            # check and would hand back all-zero "data" - silent wrong
+            # answers instead of a typed failure.
+            mn = addr_mn(verb.addr)
+            if injector.mn_dead(mn):
+                injector.record_mn_unavailable(self.client_id, verb, now)
+                self.stats.faults_injected += 1
+                raise MNUnavailable(f"MN {mn} crashed (crash_mn)",
+                                    mn=mn, addr=verb.addr)
         if not injector.address_ok(verb):
             injector.record_nak(self.client_id, verb, now)
             self.stats.faults_injected += 1
@@ -237,6 +268,14 @@ class DirectExecutor:
         self.stats.faults_injected += 1
         kind = decision.kind
         tracer = self._tracer
+        if kind == "crash_cn":
+            self._crashed = True
+            applied = decision.applied
+            if applied:
+                self._apply(verb)  # the request escaped the dying NIC
+            raise ClientCrash(
+                f"client {self.client_id} crashed (crash_cn)",
+                client=self.client_id, applied=applied)
         if kind == "drop":
             if decision.applied:
                 self._apply(verb)  # side effect lands, completion lost
@@ -305,7 +344,7 @@ class DirectExecutor:
         if self._tracer is not None:
             return self._run_traced(gen)
         result = None
-        pending: InjectedFault | None = None
+        pending: Exception | None = None
         while True:
             try:
                 if pending is not None:
@@ -322,7 +361,11 @@ class DirectExecutor:
                 raise
             try:
                 result = self.execute(op)
-            except InjectedFault as exc:
+            except (InjectedFault, MNUnavailable) as exc:
+                # Both are delivered into the generator so clients can
+                # retry (InjectedFault) or degrade (MNUnavailable) at
+                # the yield; ClientCrash deliberately is NOT - a dead CN
+                # runs no cleanup, so the generator is just abandoned.
                 pending = exc
                 result = None
 
@@ -335,7 +378,7 @@ class DirectExecutor:
         status = "error"
         try:
             result = None
-            pending: InjectedFault | None = None
+            pending: Exception | None = None
             while True:
                 try:
                     if pending is not None:
@@ -361,6 +404,11 @@ class DirectExecutor:
                                     exc.addr or 0, self._clock())
                     pending = exc
                     result = None
+                except MNUnavailable as exc:
+                    tracer.on_fault(self.client_id, "mn_unavailable",
+                                    exc.addr or 0, self._clock())
+                    pending = exc
+                    result = None
         finally:
             tracer.op_end(span, self._clock(), status)
 
@@ -376,7 +424,7 @@ class SimExecutor:
                  cn_nic: Nic, mn_nics: Mapping[int, Nic],
                  config, stats: OpStats | None = None, *,
                  monitor=None, client_id: str = "sim",
-                 injector=None, tracer=None):
+                 injector=None, tracer=None, lease_hook=None):
         self.engine = engine
         self._memories = memories
         self._cn_nic = cn_nic
@@ -387,9 +435,11 @@ class SimExecutor:
         self.client_id = client_id
         self._injector = injector
         self._tracer = tracer
+        self._lease_hook = lease_hook
         self._verb_entry = self._verb if injector is None \
             else self._verb_faulted
         self._budget = 0  # message ceiling armed by arm_verb_budget
+        self._crashed = False  # latched by a crash_cn decision
 
     def arm_verb_budget(self, extra_messages: int) -> None:
         """See :meth:`DirectExecutor.arm_verb_budget`."""
@@ -420,6 +470,9 @@ class SimExecutor:
         result = apply_verb(self._memories, op)
         if monitor is not None:
             monitor.on_apply(token, self.engine.now, result)
+        if self._lease_hook is not None \
+                and getattr(op, "lease", None) is not None:
+            self._lease_hook(self.client_id, op, result, self.engine.now)
         # Response: DRAM/DMA access, back through the MN NIC ...
         yield mn_nic.process(resp_bytes, arrive_delay=cfg.mem_access_ns)
         # ... across the wire, delivered by the CN NIC.
@@ -441,6 +494,28 @@ class SimExecutor:
                 f"{self.stats.messages} messages - livelock under faults?")
         tracer = self._tracer
         t0 = engine.now
+        if self._crashed:
+            raise ClientCrash(
+                f"client {self.client_id} has crashed (crash_cn)",
+                client=self.client_id)
+        if injector.dead_mns:
+            # Before address_ok: a blanked region still passes the range
+            # check and would hand back all-zero "data" - silent wrong
+            # answers instead of a typed failure.  Charge the send plus
+            # one completion timeout, then fail fast (no retry storm).
+            mn = addr_mn(op.addr)
+            if injector.mn_dead(mn):
+                injector.record_mn_unavailable(self.client_id, op,
+                                               engine.now)
+                self.stats.faults_injected += 1
+                req_bytes, _ = _verb_sizes(op)
+                yield self._cn_nic.process(req_bytes)
+                yield engine.timeout(injector.plan.timeout_ns)
+                if tracer is not None:
+                    tracer.on_verb(self.client_id, op, t0, engine.now,
+                                   fault="mn_unavailable")
+                raise MNUnavailable(f"MN {mn} crashed (crash_mn)",
+                                    mn=mn, addr=op.addr)
         if not injector.address_ok(op):
             injector.record_nak(self.client_id, op, engine.now)
             self.stats.count_verb(op)
@@ -459,6 +534,45 @@ class SimExecutor:
             return result
         self.stats.faults_injected += 1
         kind = decision.kind
+        if kind == "crash_cn":
+            self._crashed = True
+            if not decision.applied:
+                # The CN died before the request left its NIC: no side
+                # effect, no NIC load, no completion - just a corpse.
+                raise ClientCrash(
+                    f"client {self.client_id} crashed (crash_cn)",
+                    client=self.client_id, applied=False)
+            # The request escaped the dying NIC: the side effect lands
+            # at the MN.  The monitor sees the full issue/apply/complete
+            # life cycle (the access happened; the write interval closes
+            # at apply time) so no inflight entry dangles from a corpse.
+            cfg = self._config
+            req_bytes, _ = _verb_sizes(op)
+            self.stats.count_verb(op)
+            mn_nic = self._mn_nics[addr_mn(op.addr)]
+            cls = op.__class__
+            extra = cfg.atomic_extra_ns \
+                if (cls is CasOp or cls is FaaOp) else 0
+            monitor = self.monitor
+            token = None
+            if monitor is not None:
+                token = monitor.on_issue(self.client_id, op, engine.now)
+            yield self._cn_nic.process(req_bytes)
+            yield mn_nic.process(req_bytes, extra_ns=extra,
+                                 arrive_delay=cfg.prop_ns)
+            result = apply_verb(self._memories, op)
+            if monitor is not None:
+                monitor.on_apply(token, engine.now, result)
+                monitor.on_complete(token, engine.now)
+            if self._lease_hook is not None \
+                    and getattr(op, "lease", None) is not None:
+                self._lease_hook(self.client_id, op, result, engine.now)
+            if tracer is not None:
+                tracer.on_verb(self.client_id, op, t0, engine.now,
+                               fault="crash_cn")
+            raise ClientCrash(
+                f"client {self.client_id} crashed (crash_cn)",
+                client=self.client_id, applied=True)
         if kind == "delay":
             result = yield from self._verb(op)
             yield engine.timeout(decision.delay_ns)
@@ -509,6 +623,9 @@ class SimExecutor:
         result = apply_verb(self._memories, op)
         if monitor is not None:
             monitor.on_apply(token, engine.now, result)
+        if self._lease_hook is not None \
+                and getattr(op, "lease", None) is not None:
+            self._lease_hook(self.client_id, op, result, engine.now)
         yield engine.timeout(injector.plan.timeout_ns)
         if monitor is not None:
             monitor.on_complete(token, engine.now)
@@ -562,7 +679,7 @@ class SimExecutor:
             result = yield from self._run_traced(gen)
             return result
         result = None
-        pending: InjectedFault | None = None
+        pending: Exception | None = None
         while True:
             try:
                 if pending is not None:
@@ -579,7 +696,10 @@ class SimExecutor:
                 raise
             try:
                 result = yield from self._perform(op)
-            except InjectedFault as exc:
+            except (InjectedFault, MNUnavailable) as exc:
+                # Delivered into the generator (retry vs. degrade at the
+                # yield); ClientCrash is NOT - the generator of a dead
+                # CN is abandoned with its locks still held.
                 pending = exc
                 result = None
 
@@ -594,7 +714,7 @@ class SimExecutor:
         status = "error"
         try:
             result = None
-            pending: InjectedFault | None = None
+            pending: Exception | None = None
             while True:
                 try:
                     if pending is not None:
@@ -617,6 +737,11 @@ class SimExecutor:
                     result = yield from self._perform(op)
                 except InjectedFault as exc:
                     tracer.on_fault(self.client_id, exc.kind,
+                                    exc.addr or 0, engine.now)
+                    pending = exc
+                    result = None
+                except MNUnavailable as exc:
+                    tracer.on_fault(self.client_id, "mn_unavailable",
                                     exc.addr or 0, engine.now)
                     pending = exc
                     result = None

@@ -89,6 +89,42 @@ class InjectedFault(ReproError):
         self.applied = applied  # did the MN apply the side effect?
 
 
+class MNUnavailable(IndexError_):
+    """A verb targeted a memory node that has crashed (``crash_mn``).
+
+    Deliberately *not* an :class:`InjectedFault`: retrying cannot help -
+    the node's data is gone - so executors fail the operation fast
+    instead of letting clients retry-storm through their
+    :class:`RetryPolicy`.  Index clients may catch it at a degradation
+    point (e.g. Sphinx falls back from a dead INHT to the root walk);
+    otherwise it propagates to the workload driver, which counts the
+    operation as failed goodput.
+    """
+
+    def __init__(self, message: str, *, mn: "int | None" = None,
+                 addr: "int | None" = None):
+        super().__init__(message)
+        self.mn = mn
+        self.addr = addr
+
+
+class ClientCrash(ReproError):
+    """A ``crash_cn`` fault killed this executor's client mid-operation.
+
+    Never delivered *into* the op generator: a crashed compute node runs
+    no cleanup, so the generator is simply abandoned and any locks it
+    holds stay held until a :class:`repro.recover.RecoveryManager`
+    expires their leases.  The executor latches crashed state; further
+    use raises this same error immediately.
+    """
+
+    def __init__(self, message: str, *, client: "str | None" = None,
+                 applied: bool = False):
+        super().__init__(message)
+        self.client = client
+        self.applied = applied  # did the dying verb's side effect land?
+
+
 class RetryLimitExceeded(IndexError_):
     """An optimistic operation exceeded its retry budget (indicates either a
     pathological conflict rate, an index-corruption bug, or - under

@@ -21,6 +21,7 @@ from .plan import (
     FaultPlan,
     FaultRule,
     brownout,
+    crash_cn,
     crash_mn,
     delay,
     drop,
@@ -39,6 +40,7 @@ __all__ = [
     "FaultRule",
     "RetryPolicy",
     "brownout",
+    "crash_cn",
     "crash_mn",
     "delay",
     "drop",

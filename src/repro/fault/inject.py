@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..dm.memory import Memory, addr_mn, addr_offset, make_addr
 from ..dm.rdma import CasOp, FaaOp, ReadOp, Verb, WriteOp
@@ -50,7 +50,7 @@ class FaultEvent:
 class Decision:
     """What the executor should do to the current verb."""
     kind: str            # "drop" | "delay" | "duplicate" | "stale_cas"
-    applied: bool = False
+    applied: bool = False  # drop/crash_cn: did the side effect land?
     delay_ns: int = 0
 
 
@@ -68,13 +68,23 @@ class FaultInjector:
         self._trace: List[FaultEvent] = []  # bounded, most recent last
         self._stochastic: List[FaultRule] = []
         self._scheduled: List[Tuple[int, FaultRule]] = []
+        self._crash_pending: List[FaultRule] = []
         for idx, rule in enumerate(plan.rules):
-            if rule.at_verb is not None:
+            if rule.kind == "crash_cn":
+                # Crash rules wait for a *matching* client at or after
+                # at_verb, so they live outside the strict _scheduled
+                # prefix (a client filter must not block later rules).
+                self._crash_pending.append((idx, rule))
+            elif rule.at_verb is not None:
                 self._scheduled.append((idx, rule))
             else:
                 self._stochastic.append(rule)
         self._scheduled.sort(key=lambda pair: (pair[1].at_verb, pair[0]))
         self._fired = 0  # prefix of self._scheduled already executed
+        self._crash_pending.sort(key=lambda pair: (pair[1].at_verb, pair[0]))
+        self._crash_pending = [rule for _, rule in self._crash_pending]
+        self.crashed_clients: Set[str] = set()
+        self.dead_mns: Set[int] = set()
 
     # -- accounting ------------------------------------------------------
     def _record(self, now: int, client: str, kind: str, verb: str,
@@ -119,6 +129,15 @@ class FaultInjector:
     def record_nak(self, client: str, op: Verb, now: int) -> None:
         self._record(now, client, "nak", _VERB_KIND[op.__class__], op.addr)
 
+    # -- MN liveness (crash_mn fail-fast) --------------------------------
+    def mn_dead(self, mn: int) -> bool:
+        return mn in self.dead_mns
+
+    def record_mn_unavailable(self, client: str, op: Verb,
+                              now: int) -> None:
+        self._record(now, client, "mn_unavailable",
+                     _VERB_KIND[op.__class__], op.addr)
+
     # -- the per-verb hook ----------------------------------------------
     def decide(self, client: str, op: Verb, now: int) -> Optional[Decision]:
         """Called by executors once per verb, in issue order."""
@@ -126,10 +145,34 @@ class FaultInjector:
         if self._fired < len(self._scheduled):
             self._run_scheduled(seq, now)
         decision = None
-        if self._stochastic:
+        if self._crash_pending:
+            decision = self._match_crash(client, op, seq, now)
+        if decision is None and self._stochastic:
             decision = self._match_stochastic(client, op, now)
         self.verb_seq = seq + 1
         return decision
+
+    def _match_crash(self, client: str, op: Verb, seq: int,
+                     now: int) -> Optional[Decision]:
+        for i, rule in enumerate(self._crash_pending):
+            if rule.at_verb > seq:
+                continue
+            if rule.client is not None \
+                    and not client.startswith(rule.client):
+                continue
+            del self._crash_pending[i]
+            self.crashed_clients.add(client)
+            applied_prob = rule.applied_prob
+            if applied_prob >= 1.0:
+                applied = True
+            elif applied_prob <= 0.0:
+                applied = False
+            else:
+                applied = self._rng.random() < applied_prob
+            self._record(now, client, "crash_cn",
+                         _VERB_KIND[op.__class__], op.addr)
+            return Decision("crash_cn", applied=applied)
+        return None
 
     def _match_stochastic(self, client: str, op: Verb,
                           now: int) -> Optional[Decision]:
@@ -230,3 +273,4 @@ class FaultInjector:
         end = min(memory._bump, len(memory._data))
         if end > 64:
             memory._data[64:end] = bytes(end - 64)
+        self.dead_mns.add(mn)

@@ -10,6 +10,10 @@ A :class:`FaultPlan` is a seed plus an ordered tuple of
   ``at_verb`` set) fire exactly once, when the global verb sequence
   number reaches ``at_verb``, and mutate memory-node bytes directly -
   modelling corruption and node loss rather than fabric behaviour.
+* **Scheduled client rules** (``crash_cn``) also key on ``at_verb`` but
+  kill the *client* that issues the matching verb: the op generator is
+  abandoned mid-flight (locks stay held for lease recovery to reclaim)
+  and the executor is dead from then on.
 
 Everything is frozen and value-like so plans can sit inside benchmark
 ``CellSpec``s and be compared/hashed.  Plans never hold RNG state; the
@@ -28,6 +32,7 @@ from ..errors import ConfigError
 
 FABRIC_KINDS = ("drop", "delay", "duplicate", "stale_cas", "brownout")
 ENV_KINDS = ("poke", "flip", "crash_mn")
+CLIENT_KINDS = ("crash_cn",)
 VERB_KINDS = ("read", "write", "cas", "faa")
 
 
@@ -49,11 +54,19 @@ class FaultRule:
     data: bytes = b""                       # poke payload
     xor: int = 0                            # flip mask (0 = random bit)
     length: int = 1                         # flip span in bytes
+    client: Optional[str] = None            # crash_cn victim prefix filter
 
     def validate(self) -> None:
         if self.kind in FABRIC_KINDS:
             if not (0.0 <= self.prob <= 1.0):
                 raise ConfigError(f"{self.kind}: prob must be in [0, 1]")
+            if not (0.0 <= self.applied_prob <= 1.0):
+                raise ConfigError(
+                    f"{self.kind}: applied_prob must be in [0, 1]")
+        elif self.kind in CLIENT_KINDS:
+            if self.at_verb is None:
+                raise ConfigError("crash_cn: needs at_verb (a crash is a "
+                                  "scheduled event, not a fabric rate)")
             if not (0.0 <= self.applied_prob <= 1.0):
                 raise ConfigError(
                     f"{self.kind}: applied_prob must be in [0, 1]")
@@ -137,8 +150,26 @@ def flip(addr: Optional[int] = None, *, xor: int = 0, length: int = 1,
 
 def crash_mn(mn: int, *, at_verb: int = 0) -> FaultRule:
     """Crash-and-blank: zero one MN's entire allocated region.  Data on
-    that node is gone; clients must degrade, not corrupt."""
+    that node is gone; clients must degrade, not corrupt.  After the
+    crash every verb addressed to the node fails fast with
+    :class:`repro.errors.MNUnavailable` (no retry storm)."""
     return FaultRule(kind="crash_mn", mn=mn, at_verb=at_verb)
+
+
+def crash_cn(at_verb: int, *, client: Optional[str] = None,
+             applied_prob: float = 0.0) -> FaultRule:
+    """Kill a compute-node client mid-operation: the first verb at or
+    after global sequence ``at_verb`` issued by a client whose id starts
+    with ``client`` (``None`` = whoever issues that verb) never returns.
+    The victim's generator is abandoned without cleanup - locks it holds
+    stay held until lease recovery reclaims them - and its executor
+    raises :class:`repro.errors.ClientCrash` on any further use.
+
+    ``applied_prob`` is the chance the dying verb's side effect still
+    landed at the MN (the request escaped the NIC before the crash) -
+    the mid-publish window that makes half-writes reachable."""
+    return FaultRule(kind="crash_cn", at_verb=at_verb, client=client,
+                     applied_prob=applied_prob)
 
 
 # -- the plan ---------------------------------------------------------------
@@ -165,9 +196,10 @@ class FaultPlan:
             rule.validate()
 
     @classmethod
-    def chaos(cls, seed: int, intensity: float = 1.0) -> "FaultPlan":
+    def chaos(cls, seed: int, intensity: float = 1.0,
+              crashes: bool = False) -> "FaultPlan":
         """The standard chaos mix used by ``--chaos`` and the property
-        suite: fabric faults only, under the *fail-safe CAS,
+        suite: fabric faults, under the *fail-safe CAS,
         at-least-once write* model the clients' retry protocols are
         designed to survive (see DESIGN.md "Fault model"):
 
@@ -177,10 +209,19 @@ class FaultPlan:
         * random completion delays, phantom write retransmissions,
         * one seeded brown-out window on a seeded MN.
 
-        Memory-corruption rules (``flip``/``poke``/``crash_mn``) and
-        ``stale_cas`` are injectable but deliberately not part of this
-        mix - recovering from them needs the paper's out-of-scope lease
-        mechanism, and they are exercised by targeted tests instead.
+        With ``crashes=True`` the mix additionally schedules one seeded
+        ``crash_cn`` (a client dies mid-op; its dying verb lands with
+        probability 0.5) and, on half the seeds, one seeded ``crash_mn``
+        - survivable now that ``repro.recover`` reclaims abandoned
+        leases and operations on a dead MN degrade via
+        :class:`repro.errors.MNUnavailable`.  The default
+        ``crashes=False`` mix is byte-identical to the pre-recovery
+        plan.
+
+        Memory-corruption rules (``flip``/``poke``) and ``stale_cas``
+        are injectable but deliberately not part of this mix - silent
+        corruption has no protocol-level recovery story - and are
+        exercised by targeted tests instead.
         """
         if intensity < 0:
             raise ConfigError("chaos intensity must be >= 0")
@@ -196,4 +237,11 @@ class FaultPlan:
             brownout(rng.randrange(0, 3), window_start,
                      window_start + 250_000, min(1.0, 10 * p)),
         )
+        if crashes:
+            rules = rules + (
+                crash_cn(rng.randrange(2_000, 40_000), applied_prob=0.5),)
+            if rng.random() < 0.5:
+                rules = rules + (
+                    crash_mn(rng.randrange(0, 3),
+                             at_verb=rng.randrange(50_000, 120_000)),)
         return cls(seed=seed, rules=rules)

@@ -31,12 +31,18 @@ class RetryPolicy:
     * ``op_timeout_ns`` - 0 disables; otherwise an operation that is
       still retrying ``op_timeout_ns`` simulated ns after it started
       raises :class:`RetryLimitExceeded` even with retries left.
+    * ``torn_read_retries`` / ``inplace_update_retries`` - inner-loop
+      budgets for checksum-failed leaf reads and contended in-place
+      leaf updates; both historically hard-coded per call site (lint
+      rule L006 now requires every retry loop to be policy-bound).
     """
 
     max_retries: int = 64
     backoff_ns: int = 2_000
     max_backoff_shift: int = 6
     op_timeout_ns: int = 0
+    torn_read_retries: int = 16
+    inplace_update_retries: int = 8
 
     def validate(self) -> None:
         if self.max_retries < 1:
@@ -47,6 +53,11 @@ class RetryPolicy:
             raise ConfigError("RetryPolicy.max_backoff_shift must be >= 0")
         if self.op_timeout_ns < 0:
             raise ConfigError("RetryPolicy.op_timeout_ns must be >= 0")
+        if self.torn_read_retries < 1:
+            raise ConfigError("RetryPolicy.torn_read_retries must be >= 1")
+        if self.inplace_update_retries < 1:
+            raise ConfigError(
+                "RetryPolicy.inplace_update_retries must be >= 1")
 
     def backoff_delay(self, rng: random.Random, attempt: int) -> int:
         """Jittered delay before retry number ``attempt`` (0-based)."""
@@ -57,6 +68,12 @@ class RetryPolicy:
         """Constant backoff for clients that historically never jittered
         (RACE); kept flat so the no-fault benchmark numbers are stable."""
         return self.backoff_ns
+
+    def torn_read_delay(self, attempt: int) -> int:
+        """Linear backoff for torn leaf reads (0-based attempt).  At the
+        default ``backoff_ns`` this reproduces the historical
+        ``1_000 * (attempt + 1)`` bit-for-bit."""
+        return (self.backoff_ns // 2) * (attempt + 1)
 
 
 DEFAULT_RETRY = RetryPolicy()

@@ -367,7 +367,8 @@ class RaceClient:
                   GROUP_HEADER.pack(local_depth=local_depth, locked=0,
                                     version=g.version),
                   GROUP_HEADER.pack(local_depth=local_depth, locked=1,
-                                    version=g.version + 1))
+                                    version=g.version + 1),
+                  lease=("hash", seg_addr, local_depth))
             for g in groups
         ])
         won = [swapped for swapped, _ in lock_results]
@@ -377,7 +378,8 @@ class RaceClient:
                           GROUP_HEADER.pack(local_depth=local_depth, locked=1,
                                             version=g.version + 1),
                           GROUP_HEADER.pack(local_depth=local_depth, locked=0,
-                                            version=g.version))
+                                            version=g.version),
+                          lease=("release",))
                     for g, w in zip(groups, won) if w]
             if undo:
                 yield Batch(undo)
@@ -425,7 +427,135 @@ class RaceClient:
         # Phase 5: clear migrated entries, then unlock with bumped depth.
         finalize = [WriteOp(slot, bytes(8)) for slot in moved_slots]
         finalize += [WriteOp(g.addr, u64_to_bytes(GROUP_HEADER.pack(
-            local_depth=new_depth, locked=0, version=g.version + 2)))
+            local_depth=new_depth, locked=0, version=g.version + 2)),
+            lease=("release",))
             for g in groups]
         yield Batch(finalize)
         self.splits += 1
+
+    # -- crash recovery ----------------------------------------------------
+    def recover_segment(self, seg_addr: int, stale_depth: int):
+        """Repair a split whose owner crashed mid-protocol.
+
+        Called by :class:`repro.recover.RecoveryManager` for a segment
+        with expired ``("hash", seg_addr, depth)`` leases.  The phase the
+        dead client reached is recoverable from remote state alone:
+
+        * no group header locked - the split finished (or never locked);
+          nothing to do;
+        * directory slot ``new_pattern`` already points at a sibling at
+          ``new_depth`` - phase 4 started, and because batch members
+          apply in posted order the sibling segment (phase 3) is fully
+          published: **roll forward** (finish the directory writes, clear
+          migrated entries, unlock at ``new_depth``);
+        * otherwise no reader can have observed the sibling: **roll
+          back** (unlock every locked header at its old depth).
+
+        Ownership is taken with a fencing CAS on the first locked header
+        (version bump); losing it means the owner is alive or another
+        recoverer won - return ``"raced"`` and let the caller retry.
+        Returns one of ``"clean"``, ``"raced"``, ``"rolled_back"``,
+        ``"rolled_forward"``.
+        """
+        params = self.params
+        seg_data = yield ReadOp(seg_addr, params.segment_size)
+        groups = self._segment_groups(seg_addr, seg_data)
+        locked = [g for g in groups if g.locked]
+        if not locked:
+            return "clean"
+        old_depth = locked[0].local_depth
+        if old_depth != stale_depth:
+            # The crashed split already finished and a *later* generation
+            # holds these locks; it is not ours to repair.
+            return "raced"
+        new_depth = old_depth + 1
+        move_bit = 1 << old_depth
+        # Fence: bump the first locked header's version under CAS.  This
+        # both excludes a still-live owner (its phase-5 unlock CAS-free
+        # writes would now collide harmlessly with ours, but its undo
+        # CASes would fail) and grants this client DMSan ownership of the
+        # hash-table category for the plain repair writes below.
+        fence = locked[0]
+        fence_word = GROUP_HEADER.pack(local_depth=old_depth, locked=1,
+                                       version=fence.version + 1)
+        swapped, _ = yield CasOp(
+            fence.addr,
+            GROUP_HEADER.pack(local_depth=old_depth, locked=1,
+                              version=fence.version),
+            fence_word)
+        if not swapped:
+            return "raced"
+        fence_version = fence.version + 1
+        # Read the whole directory: mirrored slots pointing at seg_addr
+        # give old_pattern; slot new_pattern decides forward vs back.
+        dir_bytes = yield ReadOp(self.info.dir_addr,
+                                 params.directory_slots * 8)
+        entries = [DIR_ENTRY.unpack(u64_from_bytes(dir_bytes[i * 8:
+                                                             i * 8 + 8]))
+                   for i in range(params.directory_slots)]
+        seg_idxs = [i for i, e in enumerate(entries)
+                    if e["occupied"] and e["addr"] == seg_addr]
+        if not seg_idxs:
+            raise HashTableError(
+                f"segment {seg_addr:#x} unreachable from directory")
+        old_pattern = seg_idxs[0] & (move_bit - 1)
+        new_pattern = old_pattern | move_bit
+        sibling = entries[new_pattern]
+        stride = 1 << new_depth
+        if sibling["occupied"] and sibling["addr"] != seg_addr \
+                and sibling["local_depth"] == new_depth:
+            # Roll forward.  Phase 4 writes new-pattern slots first, so a
+            # published sibling here implies phase 3 completed; redo the
+            # (idempotent) directory writes, clear migrated entries, and
+            # unlock everything at new_depth.
+            new_seg_addr = sibling["addr"]
+            dir_writes = []
+            for idx in range(new_pattern, params.directory_slots, stride):
+                word = DIR_ENTRY.pack(addr=new_seg_addr,
+                                      local_depth=new_depth, occupied=1)
+                dir_writes.append(WriteOp(self.info.dir_addr + idx * 8,
+                                          u64_to_bytes(word)))
+                self._dir_cache[idx] = DirCacheEntry(new_seg_addr, new_depth)
+            for idx in range(old_pattern, params.directory_slots, stride):
+                word = DIR_ENTRY.pack(addr=seg_addr,
+                                      local_depth=new_depth, occupied=1)
+                dir_writes.append(WriteOp(self.info.dir_addr + idx * 8,
+                                          u64_to_bytes(word)))
+                self._dir_cache[idx] = DirCacheEntry(seg_addr, new_depth)
+            yield Batch(dir_writes)
+            finalize = []
+            for group in groups:
+                for i, entry in enumerate(group.entries):
+                    if entry.occupied and entry.fp2 & move_bit:
+                        finalize.append(WriteOp(group.slot_addr(i),
+                                                bytes(8)))
+            # Headers last, fence last of all: its word is what grants
+            # the sanitizer lockset, so release it after every other
+            # repair write has landed.
+            for group in groups:
+                if group.addr == fence.addr:
+                    continue
+                finalize.append(WriteOp(group.addr, u64_to_bytes(
+                    GROUP_HEADER.pack(local_depth=new_depth, locked=0,
+                                      version=group.version + 2))))
+            finalize.append(WriteOp(fence.addr, u64_to_bytes(
+                GROUP_HEADER.pack(local_depth=new_depth, locked=0,
+                                  version=fence_version + 2))))
+            yield Batch(finalize)
+            self.splits += 1
+            return "rolled_forward"
+        # Roll back: unlock every locked header at its old depth with a
+        # bumped version (never restore the pre-lock version - a reader
+        # holding the old version must still see "something changed").
+        unlock = []
+        for group in locked:
+            if group.addr == fence.addr:
+                continue
+            unlock.append(WriteOp(group.addr, u64_to_bytes(
+                GROUP_HEADER.pack(local_depth=old_depth, locked=0,
+                                  version=group.version + 1))))
+        unlock.append(WriteOp(fence.addr, u64_to_bytes(
+            GROUP_HEADER.pack(local_depth=old_depth, locked=0,
+                              version=fence_version + 1))))
+        yield Batch(unlock)
+        return "rolled_back"

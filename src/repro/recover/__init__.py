@@ -1,0 +1,26 @@
+"""Crash recovery for the simulated DM testbed (DESIGN.md §9).
+
+Remote lock words have no spare bits for an owner or epoch, so leases
+live CN-side: executors report every lease-tagged lock verb into a
+:class:`LeaseTable`, and a :class:`RecoveryManager` (attached via
+:meth:`repro.dm.cluster.Cluster.attach_recovery`) expires orphaned
+leases, CAS-reclaims the locks they cover, rolls crashed hash-table
+splits forward or back, and drives ``fsck --repair`` for anything
+structural the lock protocol alone cannot mend.
+"""
+
+from .manager import (
+    LeaseRecord,
+    LeaseTable,
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryReport,
+)
+
+__all__ = [
+    "LeaseRecord",
+    "LeaseTable",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryReport",
+]

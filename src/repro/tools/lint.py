@@ -21,6 +21,14 @@ rules catch the same classes of bug at rest:
   interpreter-specific build output; committing it bloats diffs and can
   shadow source changes.  ``.gitignore`` keeps new ones out; this rule
   fails the build if one sneaks back in.
+* **L006** - a bare retry loop in protocol code: ``for ... in range(<
+  literal>)`` whose body yields verbs.  Every bounded remote-op loop
+  must take its bound (and backoff) from the one shared
+  :class:`repro.fault.RetryPolicy` - magic-number retry budgets drift
+  apart and make timeout behaviour impossible to reason about globally.
+  Loops whose bound is intrinsic to the protocol (not a tunable) carry a
+  pragma with a justification.  Infrastructure layers (dm/sim/obs/bench/
+  ycsb) are exempt: their loops pace engine events, not client retries.
 
 Suppressions: append ``# lint: disable=L001`` to the offending line, or
 put ``# lint: disable-file=L001`` in the first ten lines of a file.
@@ -53,6 +61,11 @@ _FILE_PRAGMA = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
 #: data plane and may touch Memory directly.
 _L001_EXEMPT_PARTS = ("repro/dm/", "repro/tools/", "repro/san/",
                       "repro/fault/")
+
+#: Layers whose loops pace engine/bench events rather than client-side
+#: protocol retries; L006 only governs the latter.
+_L006_EXEMPT_PARTS = _L001_EXEMPT_PARTS + (
+    "repro/sim/", "repro/obs/", "repro/bench/", "repro/ycsb/")
 
 
 @dataclass(frozen=True)
@@ -90,6 +103,8 @@ class _Linter(ast.NodeVisitor):
         normalized = rel.replace("\\", "/")
         self.l001_exempt = any(part in normalized
                                for part in _L001_EXEMPT_PARTS)
+        self.l006_exempt = any(part in normalized
+                               for part in _L006_EXEMPT_PARTS)
 
     def _file_pragmas(self) -> Set[str]:
         disabled: Set[str] = set()
@@ -147,6 +162,26 @@ class _Linter(ast.NodeVisitor):
                     "CAS result discarded: the swapped flag must be "
                     "consumed (an unchecked CAS is a lock that may have "
                     "silently failed)")
+        self.generic_visit(node)
+
+    # -- L006: bare retry loops ----------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if not self.l006_exempt and isinstance(node.iter, ast.Call) \
+                and isinstance(node.iter.func, ast.Name) \
+                and node.iter.func.id == "range" \
+                and node.iter.args \
+                and all(isinstance(a, ast.Constant)
+                        for a in node.iter.args):
+            yields_verbs = any(
+                isinstance(sub, (ast.Yield, ast.YieldFrom))
+                for child in node.body for sub in ast.walk(child))
+            if yields_verbs:
+                self._emit(
+                    "L006", node,
+                    "bare retry loop: a bounded loop that yields verbs "
+                    "must take its bound from RetryPolicy (see "
+                    "repro.fault.retry), or pragma an intrinsic protocol "
+                    "bound with a justification")
         self.generic_visit(node)
 
     # -- L004: builtin exceptions --------------------------------------

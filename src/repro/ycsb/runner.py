@@ -21,7 +21,13 @@ from typing import Dict, List, Optional
 
 from ..dm.cluster import Cluster
 from ..dm.rdma import OpStats
-from ..errors import ConfigError, InjectedFault, RetryLimitExceeded
+from ..errors import (
+    ClientCrash,
+    ConfigError,
+    InjectedFault,
+    MNUnavailable,
+    RetryLimitExceeded,
+)
 from ..obs.counters import Counters, client_counters
 from ..sim.resources import LatencyRecorder
 from ..util.zipf import (
@@ -55,6 +61,9 @@ class RunResult:
     # runs.
     failed_ops: int = 0
     faults: Dict[str, int] = field(default_factory=dict)
+    # Workers killed mid-run by ``crash_cn`` (their unfinished ops count
+    # into failed_ops, so goodput reflects the lost capacity).
+    crashed_workers: int = 0
     # Host-side performance of producing this result (wall seconds, engine
     # events, ...).  Filled by the harness grid runner; not part of row(),
     # which only carries simulated-world outputs.
@@ -234,13 +243,25 @@ def _worker(cluster: Cluster, index, state: _SharedRunState, wid: int,
                 new = _value(i, spec.value_size) if value is None else \
                     bytes(reversed(value))
                 yield from executor.run(client.update(key, new))
-        except (RetryLimitExceeded, InjectedFault):
+        except (RetryLimitExceeded, InjectedFault, MNUnavailable):
             # Clean per-op failure under fault injection: count it
             # against goodput and keep the closed loop running.  With no
             # plan attached these exceptions stay fatal, as before.
+            # MNUnavailable (crash_mn) fails fast by design - one typed
+            # error per op, no retry storm.
             if failed is None:
                 raise
             failed["ops"] += 1
+        except ClientCrash:
+            # crash_cn killed this worker: its dying op and everything it
+            # would still have run count against goodput, and the closed
+            # loop ends here - a dead client issues no more verbs.
+            if failed is None:
+                raise
+            failed["ops"] += ops - i
+            failed["crashed"] += 1
+            latency.record(engine.now - start)
+            return
         elapsed = engine.now - start
         latency.record(elapsed)
         latency_by_op.setdefault(op_name, LatencyRecorder()).record(elapsed)
@@ -251,6 +272,34 @@ class _DatasetView:
 
     def __init__(self, state: _SharedRunState):
         self.keys = state.keys
+
+
+def _recovery_daemon(cluster: Cluster, index, manager):
+    """Online lease-reclamation sweep (a simulation process).
+
+    Spawned by :func:`run_workload` whenever a
+    :class:`repro.recover.RecoveryManager` is attached: every
+    ``lease_ns`` of simulated time it reclaims expired leases so a
+    ``crash_cn`` victim's orphaned locks stall survivors for at most one
+    lease period instead of wedging the run.  The fsck repair walk wants
+    a quiescent tree, so the daemon defers it (``repair=False``);
+    callers run it after the workload if they need it.  With no expired
+    leases a wakeup issues zero verbs, so the daemon never perturbs the
+    fault schedule of a healthy run.
+    """
+    engine = cluster.engine
+    interval = max(1, manager.config.lease_ns)
+    while True:
+        yield engine.timeout(interval)
+        if not manager.expired_leases():
+            continue
+        try:
+            manager.recover(index=index, repair=False)
+        except (RetryLimitExceeded, ClientCrash):
+            # The pass itself runs under chaos: out of retry budget, or
+            # the coordinator was the crash victim.  Next tick retries
+            # with a fresh executor.
+            continue
 
 
 def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
@@ -272,7 +321,11 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
     start_ns = engine.now
     per_worker = ops // workers
     actual_ops = per_worker * workers
-    failed = {"ops": 0} if cluster.injector is not None else None
+    failed = {"ops": 0, "crashed": 0} \
+        if cluster.injector is not None else None
+    if cluster.recovery is not None:
+        engine.process(_recovery_daemon(cluster, index, cluster.recovery),
+                       name="recoveryd")
     processes = []
     for wid in range(workers):
         cn = wid % num_cns
@@ -297,5 +350,6 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
                      nic_utilization=nic_util, client_metrics=metrics,
                      latency_by_op=latency_by_op,
                      failed_ops=failed["ops"] if failed else 0,
+                     crashed_workers=failed["crashed"] if failed else 0,
                      faults=dict(cluster.injector.counters)
                      if cluster.injector is not None else {})

@@ -1,10 +1,12 @@
 """Failure injection: abandoned locks, corrupted memory, stuck buckets.
 
-The substrate has no crash recovery (the paper's systems rely on leases /
-external recovery, which is out of scope), so the properties asserted
-here are *containment*: failures surface as bounded retries or degraded
-paths, never as wrong answers or unbounded hangs, and lock-free readers
-keep working through abandoned writer locks.
+The properties asserted here are *containment*: failures surface as
+bounded retries or degraded paths, never as wrong answers or unbounded
+hangs, and lock-free readers keep working through abandoned writer
+locks.  Containment is the floor recovery builds on - actual crash
+*recovery* (lease-based lock reclamation, ``crash_cn``/``crash_mn``
+tolerance, fsck-driven repair) lives in ``repro.recover`` and is
+exercised by ``test_recovery.py`` / ``test_recovery_properties.py``.
 
 Faults are expressed as :class:`repro.fault.FaultPlan` rules (scheduled
 ``poke``/``flip`` environment corruption) rather than hand-poking memory
