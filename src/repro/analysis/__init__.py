@@ -1,0 +1,30 @@
+"""DMVerify: a path-sensitive static verifier for the one-sided RDMA
+protocol layer.
+
+The package builds per-function control-flow graphs from Python AST
+(:mod:`repro.analysis.cfg`), runs a worklist dataflow over an abstract
+lock/lease state (:mod:`repro.analysis.dataflow`), and checks the
+protocol invariants that the runtime layers (DMSan, the recovery
+oracle) can only observe on executed paths (:mod:`repro.analysis.rules`).
+See DESIGN.md section 10 for the rule catalog and the abstract-state
+semantics, and ``python -m repro.tools.dmverify --help`` for the CLI.
+
+The lint rules L001/L002/L006 are implemented on the same CFGs (one
+statement per node, every statement of a file covered exactly once) so
+:mod:`repro.tools.lint` does not maintain a second AST walker.
+"""
+
+from .cfg import CFG, Node, build_cfgs, build_function_cfg
+from .driver import Report, analyze_paths
+from .findings import Finding, Suppressions
+
+__all__ = [
+    "CFG",
+    "Finding",
+    "Node",
+    "Report",
+    "Suppressions",
+    "analyze_paths",
+    "build_cfgs",
+    "build_function_cfg",
+]

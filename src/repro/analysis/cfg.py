@@ -1,0 +1,380 @@
+"""AST -> control-flow graphs for protocol generators.
+
+One CFG node per statement.  Compound statements contribute a *branch*
+node holding the header (the ``if``/``while`` test, the ``for`` iter)
+and their bodies are flattened into the same graph; ``try`` blocks
+contribute a *dispatch* node that fans out to handler bodies.
+
+Exception edges are explicit-flow only: a statement gets an ``exc``
+successor when it can observably raise *and* an enclosing handler or
+``finally`` exists in this function - that is, for ``raise`` statements
+and for yield points (where the executors deliver injected faults via
+``gen.throw``).  Implicit propagation out of a function with no ``try``
+in scope is deliberately *not* modeled as an exit: fault delivery at
+yield points is the retry harness's and the recovery layer's domain,
+and modeling every expression as potentially raising would drown the
+dataflow in impossible paths.  ``finally`` bodies are duplicated per
+exit route (fallthrough, return, raise, break/continue) so each route's
+abstract state flows through the cleanup code it would actually run.
+
+Statements after an unconditional exit still get nodes (with no
+incoming edges) so syntactic rules see every statement exactly once;
+the dataflow simply never reaches them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+# Edge labels.
+NEXT = "next"
+TRUE = "true"
+FALSE = "false"
+EXC = "exc"
+
+# Node kinds.
+ENTRY = "entry"
+STMT = "stmt"
+BRANCH = "branch"
+DISPATCH = "dispatch"
+RETURN = "return"
+RAISE = "raise"
+
+#: Dangling out-edges waiting for a target: (source node index, label).
+Frontier = List[Tuple[int, str]]
+
+_CTX_LOOP = "loop"
+_CTX_FINALLY = "finally"
+_CTX_HANDLERS = "handlers"
+
+
+class _YieldFinder(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.found = False
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.found = True
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.found = True
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # do not descend into nested scopes
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def contains_yield(node: ast.AST) -> bool:
+    """True when ``node`` itself yields (nested scopes excluded)."""
+    finder = _YieldFinder()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.Lambda)):
+        return False
+    finder.visit(node)
+    return finder.found
+
+
+def is_generator(func: FuncDef) -> bool:
+    return any(contains_yield(stmt) for stmt in func.body)
+
+
+@dataclass
+class Node:
+    index: int
+    kind: str
+    stmt: Optional[ast.stmt] = None
+    succ: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+    @property
+    def test(self) -> Optional[ast.expr]:
+        if isinstance(self.stmt, (ast.If, ast.While)):
+            return self.stmt.test
+        return None
+
+
+@dataclass
+class CFG:
+    """A flat statement graph for one function body or block body."""
+
+    name: str
+    entry: int
+    nodes: List[Node]
+    func: Optional[FuncDef] = None
+    cls: Optional[str] = None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        # Innermost-last enclosing constructs:
+        #   (_CTX_LOOP, continue_target: int, break_frontier: Frontier)
+        #   (_CTX_FINALLY, finalbody: Sequence[ast.stmt], None)
+        #   (_CTX_HANDLERS, dispatch_node: int, None)
+        self.ctx: List[Tuple[str, object, object]] = []
+
+    # -- graph plumbing -------------------------------------------------
+    def new(self, kind: str, stmt: Optional[ast.stmt] = None) -> int:
+        node = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def connect(self, frontier: Frontier, target: int) -> None:
+        for source, label in frontier:
+            self.nodes[source].succ.append((label, target))
+
+    # -- statement sequencing -------------------------------------------
+    def body(self, stmts: Sequence[ast.stmt],
+             frontier: Frontier) -> Frontier:
+        for stmt in stmts:
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self.new(STMT, stmt)
+            self.connect(frontier, node)
+            return self.body(stmt.body, [(node, NEXT)])
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, frontier)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, frontier)
+        if isinstance(stmt, ast.Break):
+            return self._break(stmt, frontier)
+        if isinstance(stmt, ast.Continue):
+            return self._continue(stmt, frontier)
+        # Simple statement (includes nested def/class headers, whose
+        # bodies become their own CFGs elsewhere).
+        node = self.new(STMT, stmt)
+        self.connect(frontier, node)
+        out: Frontier = [(node, NEXT)]
+        if contains_yield(stmt) and self._inside_try():
+            self._exc_route([(node, EXC)], stmt)
+        return out
+
+    # -- compound forms -------------------------------------------------
+    def _if(self, stmt: ast.If, frontier: Frontier) -> Frontier:
+        node = self.new(BRANCH, stmt)
+        self.connect(frontier, node)
+        taken = self.body(stmt.body, [(node, TRUE)])
+        if stmt.orelse:
+            skipped = self.body(stmt.orelse, [(node, FALSE)])
+        else:
+            skipped = [(node, FALSE)]
+        return taken + skipped
+
+    def _while(self, stmt: ast.While, frontier: Frontier) -> Frontier:
+        node = self.new(BRANCH, stmt)
+        self.connect(frontier, node)
+        break_frontier: Frontier = []
+        self.ctx.append((_CTX_LOOP, node, break_frontier))
+        body_out = self.body(stmt.body, [(node, TRUE)])
+        self.ctx.pop()
+        self.connect(body_out, node)  # back edge
+        out: Frontier = []
+        test = stmt.test
+        if not (isinstance(test, ast.Constant) and test.value):
+            out = [(node, FALSE)]
+        if stmt.orelse:
+            out = self.body(stmt.orelse, out)
+        return out + break_frontier
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor],
+             frontier: Frontier) -> Frontier:
+        node = self.new(BRANCH, stmt)
+        self.connect(frontier, node)
+        break_frontier: Frontier = []
+        self.ctx.append((_CTX_LOOP, node, break_frontier))
+        body_out = self.body(stmt.body, [(node, TRUE)])
+        self.ctx.pop()
+        self.connect(body_out, node)
+        out: Frontier = [(node, FALSE)]
+        if stmt.orelse:
+            out = self.body(stmt.orelse, out)
+        return out + break_frontier
+
+    def _match(self, stmt: ast.Match, frontier: Frontier) -> Frontier:
+        node = self.new(BRANCH, stmt)
+        self.connect(frontier, node)
+        out: Frontier = [(node, NEXT)]  # no case matched
+        for case in stmt.cases:
+            out += self.body(case.body, [(node, NEXT)])
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: Frontier) -> Frontier:
+        dispatch: Optional[int] = None
+        if stmt.handlers:
+            dispatch = self.new(DISPATCH, stmt)
+        if stmt.finalbody:
+            self.ctx.append((_CTX_FINALLY, stmt.finalbody, None))
+        if dispatch is not None:
+            self.ctx.append((_CTX_HANDLERS, dispatch, None))
+        out = self.body(stmt.body, frontier)
+        if dispatch is not None:
+            self.ctx.pop()
+        if stmt.orelse:
+            out = self.body(stmt.orelse, out)
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                out = out + self.body(handler.body, [(dispatch, NEXT)])
+        if stmt.finalbody:
+            self.ctx.pop()
+            out = self.body(stmt.finalbody, out)
+        return out
+
+    # -- exits ----------------------------------------------------------
+    def _inside_try(self) -> bool:
+        return any(kind in (_CTX_FINALLY, _CTX_HANDLERS)
+                   for kind, _a, _b in self.ctx)
+
+    def _inline_finally(self, frontier: Frontier, depth: int) -> Frontier:
+        """Build a copy of the finalbody at ctx[depth], with the context
+        stack truncated below it so nested exits resolve correctly."""
+        _kind, finalbody, _ = self.ctx[depth]
+        assert isinstance(finalbody, list)
+        saved = self.ctx
+        self.ctx = self.ctx[:depth]
+        frontier = self.body(finalbody, frontier)
+        self.ctx = saved
+        return frontier
+
+    def _exc_route(self, frontier: Frontier,
+                   stmt: Optional[ast.stmt]) -> None:
+        """Route an exception raised at ``frontier`` to the innermost
+        handler, running intervening ``finally`` bodies; if no handler
+        encloses it, terminate at a RAISE exit node."""
+        for depth in range(len(self.ctx) - 1, -1, -1):
+            kind, target, _ = self.ctx[depth]
+            if kind == _CTX_HANDLERS:
+                assert isinstance(target, int)
+                self.connect(frontier, target)
+                return
+            if kind == _CTX_FINALLY:
+                frontier = self._inline_finally(frontier, depth)
+        exit_node = self.new(RAISE, stmt)
+        self.connect(frontier, exit_node)
+
+    def _unwind_finallies(self, frontier: Frontier,
+                          stop_at_loop: bool) -> Tuple[Frontier,
+                                                       Optional[int]]:
+        for depth in range(len(self.ctx) - 1, -1, -1):
+            kind, _target, _extra = self.ctx[depth]
+            if kind == _CTX_FINALLY:
+                frontier = self._inline_finally(frontier, depth)
+            elif kind == _CTX_LOOP and stop_at_loop:
+                return frontier, depth
+        return frontier, None
+
+    def _return(self, stmt: ast.Return, frontier: Frontier) -> Frontier:
+        frontier, _ = self._unwind_finallies(frontier, stop_at_loop=False)
+        node = self.new(RETURN, stmt)
+        self.connect(frontier, node)
+        return []
+
+    def _raise(self, stmt: ast.Raise, frontier: Frontier) -> Frontier:
+        node = self.new(STMT, stmt)
+        self.connect(frontier, node)
+        self._exc_route([(node, NEXT)], stmt)
+        return []
+
+    def _break(self, stmt: ast.Break, frontier: Frontier) -> Frontier:
+        frontier, depth = self._unwind_finallies(frontier,
+                                                 stop_at_loop=True)
+        if depth is not None:
+            _kind, _target, break_frontier = self.ctx[depth]
+            assert isinstance(break_frontier, list)
+            break_frontier.extend(frontier)
+        return []
+
+    def _continue(self, stmt: ast.Continue,
+                  frontier: Frontier) -> Frontier:
+        frontier, depth = self._unwind_finallies(frontier,
+                                                 stop_at_loop=True)
+        if depth is not None:
+            _kind, target, _extra = self.ctx[depth]
+            assert isinstance(target, int)
+            self.connect(frontier, target)
+        return []
+
+
+def build_function_cfg(func: FuncDef, qualname: str,
+                       cls: Optional[str] = None) -> CFG:
+    builder = _Builder()
+    entry = builder.new(ENTRY)
+    out = builder.body(func.body, [(entry, NEXT)])
+    if out:
+        implicit = builder.new(RETURN)
+        builder.connect(out, implicit)
+    return CFG(qualname, entry, builder.nodes, func=func, cls=cls)
+
+
+def build_block_cfg(name: str, stmts: Sequence[ast.stmt]) -> CFG:
+    builder = _Builder()
+    entry = builder.new(ENTRY)
+    out = builder.body(stmts, [(entry, NEXT)])
+    if out:
+        implicit = builder.new(RETURN)
+        builder.connect(out, implicit)
+    return CFG(name, entry, builder.nodes)
+
+
+def _child_stmt_lists(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    """Statement lists nested inside a compound statement (not defs)."""
+    lists: List[List[ast.stmt]] = []
+    for _name, value in ast.iter_fields(stmt):
+        if isinstance(value, list):
+            stmts = [item for item in value if isinstance(item, ast.stmt)]
+            if stmts:
+                lists.append(stmts)
+            for item in value:
+                if isinstance(item, ast.ExceptHandler):
+                    lists.append(list(item.body))
+                elif isinstance(item, ast.match_case):
+                    lists.append(list(item.body))
+    return lists
+
+
+def build_cfgs(tree: ast.Module, modname: str = "<module>") -> List[CFG]:
+    """All CFGs for a module: one block CFG for the module body, one per
+    class body, and one function CFG per (possibly nested) def.  Every
+    statement of the file belongs to exactly one CFG."""
+    cfgs: List[CFG] = [build_block_cfg(modname, tree.body)]
+
+    def scan(stmts: Sequence[ast.stmt], prefix: str,
+             cls: Optional[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + stmt.name
+                cfgs.append(build_function_cfg(stmt, qualname, cls=cls))
+                scan(stmt.body, qualname + ".<locals>.", None)
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = prefix + stmt.name
+                cfgs.append(build_block_cfg(qualname + ":<body>",
+                                            stmt.body))
+                scan(stmt.body, qualname + ".", stmt.name)
+            else:
+                for child in _child_stmt_lists(stmt):
+                    scan(child, prefix, cls)
+    scan(tree.body, "", None)
+    return cfgs

@@ -1,0 +1,797 @@
+"""Path-sensitive lock/lease dataflow over protocol-generator CFGs.
+
+The abstract state tracks, per path:
+
+* **locks** - remote words this generator has CAS-acquired and not yet
+  released.  A lock acquired under ``flag`` names (the CAS swapped
+  flag, e.g. ``swapped`` or ``res[0]``) is *conditional* until a branch
+  tests the flag: the true side holds the lock, the false side dropped
+  it.  Locks acquired by a Batch comprehension are *collection* locks:
+  ``all(won)``-style tests refine them but can never drop them (a
+  partially-won batch must still be rolled back).
+* **released** - lock keys released on this path: the close of the
+  acquire/release window.  A subsequent remote write through the same
+  key is S003.  An acquire (or an alias rename) of the key reopens the
+  window.
+* **release_vars** - local names bound to verb lists that carry release
+  tags (``undo = [CasOp(..., lease=("release",)) ...]``), so that both
+  ``yield Batch(undo)`` and the ``if undo:``-guard refinement can apply
+  the release they carry.
+
+Traces (path witnesses) ride alongside the state but are not part of
+its identity: the worklist memoizes on (node, state) and keeps the
+first trace that reaches each pair, so reported witnesses are real
+paths and the analysis still terminates on loops.
+
+Function summaries let the analysis cross ``yield from`` calls: a
+helper that acquires and escapes the lock through its return flag
+(``try_lock_node``) is an *acquire helper*; a helper that releases a
+parameter's lock (``_write_and_unlock``) is a *release helper*; a
+non-generator returning a release-tagged verb (``unlock_op``) is a
+*factory*.  Summaries are computed from the same dataflow and iterated
+to a fixpoint by the driver.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import (Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple)
+
+from . import model
+from .cfg import (BRANCH, CFG, DISPATCH, ENTRY, EXC, FALSE, RAISE,
+                  RETURN, STMT, TRUE, FuncDef, Node)
+
+#: Bound on (node, state) pairs explored per function before giving up.
+MAX_STEPS = 20000
+
+_ROOT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _root_of(text: str) -> str:
+    match = _ROOT.match(text)
+    return match.group(0) if match else text
+
+
+@dataclass(frozen=True)
+class FuncSummary:
+    """What a call to this function does to the caller's lock state."""
+
+    acquires: bool = False
+    addr_param: Optional[int] = None   # 0-based over non-self params
+    release_params: Tuple[int, ...] = ()
+    factory: bool = False              # returns a release-tagged verb
+
+    @property
+    def balanced(self) -> bool:
+        return (not self.acquires and not self.release_params
+                and not self.factory)
+
+
+BALANCED = FuncSummary()
+
+#: Fallback summaries for well-known helpers, used when the definition
+#: is outside the analyzed file set (e.g. single-file fixture runs).
+SEED_SUMMARIES: Dict[str, FuncSummary] = {
+    "try_lock_node": FuncSummary(acquires=True, addr_param=0),
+    "unlock_op": FuncSummary(factory=True, release_params=(0,)),
+    "invalidate_op": FuncSummary(factory=True, release_params=(0,)),
+}
+
+#: Resolves a callee name to a summary, or None when unknown.
+Resolver = Callable[[str], Optional[FuncSummary]]
+
+
+@dataclass(frozen=True)
+class Lock:
+    key: str                       # unparsed addr expression
+    flags: Tuple[str, ...] = ()    # () = held unconditionally
+    line: int = 0
+    collection: bool = False
+    tagged: bool = True            # acquired with a lease keyword
+
+    @property
+    def held(self) -> bool:
+        return not self.flags
+
+    def flag_roots(self) -> Set[str]:
+        return {_root_of(flag) for flag in self.flags}
+
+
+@dataclass(frozen=True)
+class State:
+    locks: Tuple[Lock, ...] = ()
+    released: Tuple[str, ...] = ()
+    release_vars: Tuple[Tuple[str, str], ...] = ()
+
+    def with_locks(self, locks: Sequence[Lock]) -> "State":
+        return replace(self, locks=tuple(
+            sorted(set(locks),
+                   key=lambda lk: (lk.key, lk.flags, lk.line))))
+
+    def add_released(self, key: str) -> "State":
+        if key in self.released:
+            return self
+        return replace(self, released=tuple(
+            sorted(self.released + (key,))))
+
+    def drop_released(self, key: str) -> "State":
+        if key not in self.released:
+            return self
+        return replace(self, released=tuple(
+            k for k in self.released if k != key))
+
+    def set_release_var(self, name: str, key: str) -> "State":
+        kept = tuple(entry for entry in self.release_vars
+                     if entry[0] != name)
+        return replace(self, release_vars=tuple(
+            sorted(kept + ((name, key),))))
+
+    def release_var_key(self, name: str) -> Optional[str]:
+        for var, key in self.release_vars:
+            if var == name:
+                return key
+        return None
+
+
+Trace = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    rule: str
+    line: int
+    message: str
+    witness: Trace = ()
+
+
+@dataclass
+class FlowOutcome:
+    findings: List[RawFinding] = field(default_factory=list)
+    summary: FuncSummary = BALANCED
+    overflowed: bool = False
+
+
+class FlowAnalysis:
+    """Run the lock/lease dataflow over one function CFG."""
+
+    def __init__(self, cfg: CFG, env: Dict[str, Optional[ast.expr]],
+                 resolver: Resolver) -> None:
+        assert cfg.func is not None
+        self.cfg = cfg
+        self.env = env
+        self.resolver = resolver
+        self.findings: List[RawFinding] = []
+        self._finding_keys: Set[Tuple[str, int, str]] = set()
+        self.escaped: List[Tuple[Lock, Optional[int]]] = []
+        self.ambient_release_params: Set[int] = set()
+        args = cfg.func.args
+        params = [a.arg for a in args.posonlyargs + args.args]
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        self.params = params
+
+    # -- public entry ---------------------------------------------------
+    def run(self) -> FlowOutcome:
+        outcome = FlowOutcome()
+        seen: Dict[int, Set[State]] = {}
+        work: "deque[Tuple[int, State, Trace]]" = deque()
+        work.append((self.cfg.entry, State(), ()))
+        steps = 0
+        while work:
+            index, state, trace = work.popleft()
+            visited = seen.setdefault(index, set())
+            if state in visited:
+                continue
+            visited.add(state)
+            steps += 1
+            if steps > MAX_STEPS:
+                outcome.overflowed = True
+                break
+            node = self.cfg.nodes[index]
+            for target, succ_state, succ_trace in self._step(node, state,
+                                                             trace):
+                work.append((target, succ_state, succ_trace))
+        outcome.findings = self.findings
+        outcome.summary = self._summary()
+        return outcome
+
+    def _emit(self, rule: str, line: int, message: str,
+              witness: Trace) -> None:
+        key = (rule, line, message)
+        if key in self._finding_keys:
+            return
+        self._finding_keys.add(key)
+        self.findings.append(RawFinding(rule, line, message, witness))
+
+    # -- per-node transfer ----------------------------------------------
+    def _step(self, node: Node, state: State,
+              trace: Trace) -> List[Tuple[int, State, Trace]]:
+        if node.kind in (ENTRY, DISPATCH):
+            return [(target, state, trace) for _lbl, target in node.succ]
+        if node.kind == STMT:
+            assert node.stmt is not None
+            post, post_trace = self._stmt_transfer(node.stmt, state,
+                                                   trace)
+            out: List[Tuple[int, State, Trace]] = []
+            for label, target in node.succ:
+                if label == EXC:
+                    # Faults delivered at a yield leave the verb's
+                    # effect unknown; propagate the pre-state so retry
+                    # loops do not accumulate ghost locks.
+                    out.append((target, state, trace))
+                else:
+                    out.append((target, post, post_trace))
+            return out
+        if node.kind == BRANCH:
+            return self._branch_step(node, state, trace)
+        if node.kind == RETURN:
+            self._exit_checks(node, state, trace, exceptional=False)
+            return []
+        if node.kind == RAISE:
+            self._exit_checks(node, state, trace, exceptional=True)
+            return []
+        raise AssertionError(f"unknown node kind {node.kind}")
+
+    # -- exits ----------------------------------------------------------
+    def _exit_checks(self, node: Node, state: State, trace: Trace,
+                     exceptional: bool) -> None:
+        value: Optional[ast.expr] = None
+        if not exceptional and isinstance(node.stmt, ast.Return):
+            value = node.stmt.value
+        for lock in state.locks:
+            if value is not None and self._escapes(value, lock):
+                param = (self.params.index(lock.key)
+                         if lock.key in self.params else None)
+                self.escaped.append((lock, param))
+                continue
+            line = node.line or lock.line
+            if exceptional:
+                where = (f"an exception exit (raise or injected fault "
+                         f"escaping at line {line})")
+            else:
+                where = f"the return at line {line}" if node.line else \
+                    "the implicit return at the end of the function"
+            if lock.held:
+                detail = "is not released on " + where
+            else:
+                flags = ", ".join(f"`{f}`" for f in lock.flags)
+                detail = (f"may still be held (CAS flag {flags} "
+                          f"untested) on " + where)
+            plural = "locks" if lock.collection else "lock"
+            message = (f"{plural} on `{lock.key}` acquired at line "
+                       f"{lock.line} {detail}")
+            witness = trace + (f"line {line}: exit with `{lock.key}` "
+                               f"unreleased",)
+            self._emit("S001", line, message, witness)
+
+    def _escapes(self, value: ast.expr, lock: Lock) -> bool:
+        text = model.unparse(value)
+        if text in lock.flags:
+            return True
+        if isinstance(value, ast.Name) and value.id in lock.flag_roots():
+            return True
+        return False
+
+    # -- branches -------------------------------------------------------
+    def _branch_step(self, node: Node, state: State,
+                     trace: Trace) -> List[Tuple[int, State, Trace]]:
+        test = node.test
+        out: List[Tuple[int, State, Trace]] = []
+        for label, target in node.succ:
+            if test is None or label not in (TRUE, FALSE):
+                out.append((target, state, trace))
+                continue
+            succ_state, succ_trace = self._refine(test, state, trace,
+                                                  node.line,
+                                                  taken=(label == TRUE))
+            out.append((target, succ_state, succ_trace))
+        return out
+
+    def _refine(self, test: ast.expr, state: State, trace: Trace,
+                line: int, taken: bool) -> Tuple[State, Trace]:
+        events: List[str] = []
+        locks: List[Lock] = []
+        for lock in state.locks:
+            polarity = self._polarity(test, lock)
+            if polarity is None:
+                locks.append(lock)
+                continue
+            truthy = polarity if taken else not polarity
+            if lock.collection:
+                note = "all held" if truthy else "partially held"
+                events.append(f"line {line}: batch CAS flags "
+                              f"`{lock.flags[0]}` tested -> {note}, "
+                              f"release still required")
+                locks.append(replace(lock, flags=()))
+            elif truthy:
+                events.append(f"line {line}: CAS flag "
+                              f"`{lock.flags[0]}` tested true -> lock "
+                              f"on `{lock.key}` held")
+                locks.append(replace(lock, flags=()))
+            else:
+                events.append(f"line {line}: CAS flag "
+                              f"`{lock.flags[0]}` tested false -> "
+                              f"acquire of `{lock.key}` failed")
+        new_state = state.with_locks(locks)
+        # Guard on a release-carrying list (`if undo:`): on the branch
+        # where the list is *empty*, the rollback had nothing to undo,
+        # which proves the corresponding acquires all failed - drop the
+        # conditional/collection locks the list would have released.
+        guard = self._guard_release_var(test)
+        if guard is not None:
+            name, truthy_when_taken = guard
+            key = new_state.release_var_key(name)
+            if key is not None:
+                var_truthy = (truthy_when_taken if taken
+                              else not truthy_when_taken)
+                if not var_truthy:
+                    kept: List[Lock] = []
+                    for lock in new_state.locks:
+                        dropped = (lock.collection if key == "*"
+                                   else lock.key == key)
+                        if dropped:
+                            events.append(
+                                f"line {line}: release list `{name}` "
+                                f"empty -> no `{lock.key}` lock was "
+                                f"actually won")
+                        else:
+                            kept.append(lock)
+                    new_state = new_state.with_locks(kept)
+        return new_state, trace + tuple(events)
+
+    def _guard_release_var(self,
+                           test: ast.expr) -> Optional[Tuple[str, bool]]:
+        if isinstance(test, ast.Name):
+            return test.id, True
+        if isinstance(test, ast.UnaryOp) \
+                and isinstance(test.op, ast.Not) \
+                and isinstance(test.operand, ast.Name):
+            return test.operand.id, False
+        return None
+
+    def _polarity(self, test: ast.expr, lock: Lock) -> Optional[bool]:
+        if not lock.flags:
+            return None
+        texts = set(lock.flags)
+        roots = lock.flag_roots()
+
+        def check(expr: ast.expr) -> Optional[bool]:
+            text = model.unparse(expr)
+            if text in texts:
+                return True
+            if isinstance(expr, ast.UnaryOp) \
+                    and isinstance(expr.op, ast.Not):
+                inner = check(expr.operand)
+                return None if inner is None else not inner
+            if isinstance(expr, ast.Call) \
+                    and isinstance(expr.func, ast.Name) \
+                    and expr.func.id in ("all", "any") \
+                    and len(expr.args) == 1:
+                arg = expr.args[0]
+                if model.unparse(arg) in texts:
+                    return True
+                if isinstance(arg, ast.Name) and arg.id in roots:
+                    return True
+            return None
+
+        return check(test)
+
+    # -- statements -----------------------------------------------------
+    def _stmt_transfer(self, stmt: ast.stmt, state: State,
+                       trace: Trace) -> Tuple[State, Trace]:
+        yielded = self._yield_parts(stmt)
+        if yielded is not None:
+            node_value, target = yielded
+            if isinstance(node_value, ast.YieldFrom):
+                return self._yield_from(stmt, node_value, target, state,
+                                        trace)
+            if node_value.value is not None:
+                return self._yield_transfer(stmt, node_value.value,
+                                            target, state, trace)
+            return state, trace
+        if isinstance(stmt, ast.Assign):
+            return self._assign_transfer(stmt, state, trace)
+        if isinstance(stmt, ast.AugAssign):
+            return self._augassign_transfer(stmt, state, trace)
+        if isinstance(stmt, ast.Expr):
+            return self._expr_transfer(stmt, state, trace)
+        return state, trace
+
+    def _yield_parts(self, stmt: ast.stmt) -> Optional[
+            Tuple["ast.Yield | ast.YieldFrom", Optional[ast.expr]]]:
+        if isinstance(stmt, ast.Expr) \
+                and isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+            return stmt.value, None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+            return stmt.value, stmt.targets[0]
+        return None
+
+    # -- yield transfer -------------------------------------------------
+    def _yield_transfer(self, stmt: ast.stmt, value: ast.expr,
+                        target: Optional[ast.expr], state: State,
+                        trace: Trace) -> Tuple[State, Trace]:
+        line = stmt.lineno
+        events: List[str] = []
+        acquires: List[model.YieldedItem] = []
+        for item in model.yielded_items(value):
+            if item.kind == "verb":
+                assert item.call is not None
+                key = model.release_key(item.call, self.env)
+                if key is not None:
+                    strong = model.is_strong_release(item.call)
+                    if item.comp:
+                        key = "*"
+                    state, released = self._apply_release(
+                        state, key, line, strong=strong)
+                    events.extend(released)
+                elif model.is_acquire_cas(item.call, self.env):
+                    acquires.append(item)
+                elif model.call_name(item.call) in model.WRITE_VERBS:
+                    self._check_s003(item.call, line, state,
+                                     trace + tuple(events))
+            elif item.kind == "call":
+                assert item.call is not None
+                state, released = self._apply_call_summary(
+                    item.call, line, state)
+                events.extend(released)
+            elif item.kind == "name":
+                assert item.name is not None
+                key = state.release_var_key(item.name)
+                if key is not None:
+                    state, released = self._apply_release(
+                        state, key, line, strong=True)
+                    events.extend(released)
+        for item in acquires:
+            assert item.call is not None
+            state, acquired = self._apply_acquire(item, target, line,
+                                                  state)
+            events.extend(acquired)
+        return state, trace + tuple(events)
+
+    def _apply_acquire(self, item: model.YieldedItem,
+                       target: Optional[ast.expr], line: int,
+                       state: State) -> Tuple[State, List[str]]:
+        assert item.call is not None
+        key = model.unparse(item.call.args[0]) if item.call.args else "*"
+        flags = self._acquire_flags(item, target)
+        tagged = model.lease_kind(item.call) == "acquire"
+        lock = Lock(key=key, flags=flags, line=line,
+                    collection=item.comp, tagged=tagged)
+        locks = [lk for lk in state.locks if lk.key != key]
+        locks.append(lock)
+        state = state.with_locks(locks).drop_released(key)
+        kind = "batch lock CAS" if item.comp else "lock CAS"
+        tag = "" if tagged else " (untagged)"
+        return state, [f"line {line}: {kind} on `{key}`{tag}, swapped "
+                       f"flag in {flags or ('<unchecked>',)}"]
+
+    def _acquire_flags(self, item: model.YieldedItem,
+                       target: Optional[ast.expr]) -> Tuple[str, ...]:
+        if target is None:
+            return ()
+        if item.comp:
+            if isinstance(target, ast.Name):
+                return (target.id,)
+            return ()
+        if item.direct:
+            if isinstance(target, ast.Name):
+                return (f"{target.id}[0]",)
+            if isinstance(target, ast.Tuple) and target.elts \
+                    and isinstance(target.elts[0], ast.Name):
+                return (target.elts[0].id,)
+            return ()
+        if item.batch_index is not None:
+            index = item.batch_index
+            if isinstance(target, ast.Name):
+                return (f"{target.id}[{index}][0]",)
+            if isinstance(target, ast.Tuple) \
+                    and index < len(target.elts):
+                elt = target.elts[index]
+                if isinstance(elt, ast.Name):
+                    return (f"{elt.id}[0]",)
+                if isinstance(elt, ast.Tuple) and elt.elts \
+                        and isinstance(elt.elts[0], ast.Name):
+                    return (elt.elts[0].id,)
+        return ()
+
+    def _apply_release(self, state: State, key: str, line: int,
+                       strong: bool) -> Tuple[State, List[str]]:
+        events: List[str] = []
+        if key == "*":
+            for lock in state.locks:
+                events.append(f"line {line}: lock on `{lock.key}` "
+                              f"released")
+                state = state.add_released(lock.key)
+            return state.with_locks([]), events
+        matched = [lock for lock in state.locks if lock.key == key]
+        if not matched and strong and len(state.locks) == 1:
+            matched = list(state.locks)
+        if matched:
+            kept = [lock for lock in state.locks
+                    if lock not in matched]
+            for lock in matched:
+                events.append(f"line {line}: lock on `{lock.key}` "
+                              f"released")
+                state = state.add_released(lock.key)
+            state = state.with_locks(kept).add_released(key)
+        else:
+            # Ambient release: nothing held under this key here; still
+            # closes the window for S003 and feeds the summary.
+            if key in self.params:
+                self.ambient_release_params.add(
+                    self.params.index(key))
+            state = state.add_released(key)
+        return state, events
+
+    def _check_s003(self, call: ast.Call, line: int, state: State,
+                    witness: Trace) -> None:
+        if not call.args:
+            return
+        addr = call.args[0]
+        addr_text = model.unparse(addr)
+        addr_ids = set(model.identifiers(addr))
+        for key in state.released:
+            tokens = model.key_tokens(key)
+            root = tokens[0] if tokens else key
+            if key == addr_text or root in addr_ids:
+                verb = model.call_name(call)
+                message = (f"remote {verb} to `{addr_text}` after the "
+                           f"lock on `{key}` was released: writes to a "
+                           f"locked structure must stay inside the "
+                           f"acquire/release window")
+                self._emit("S003", line, message, witness + (
+                    f"line {line}: {verb} to `{addr_text}` outside "
+                    f"the window",))
+                return
+
+    def _apply_call_summary(self, call: ast.Call, line: int,
+                            state: State) -> Tuple[State, List[str]]:
+        name = model.call_name(call)
+        if name is None:
+            return state, []
+        summary = self.resolver(name)
+        if summary is None or not summary.factory:
+            return state, []
+        events: List[str] = []
+        for param in summary.release_params:
+            if param < len(call.args):
+                key = model.unparse(call.args[param])
+            else:
+                key = "*"
+            state, released = self._apply_release(state, key, line,
+                                                  strong=True)
+            events.extend(released)
+        return state, events
+
+    def _yield_from(self, stmt: ast.stmt, node_value: ast.YieldFrom,
+                    target: Optional[ast.expr], state: State,
+                    trace: Trace) -> Tuple[State, Trace]:
+        call = node_value.value
+        if not isinstance(call, ast.Call):
+            return state, trace
+        name = model.call_name(call)
+        if name is None:
+            return state, trace
+        summary = self.resolver(name)
+        if summary is None or summary.balanced:
+            return state, trace
+        line = stmt.lineno
+        events: List[str] = []
+        args = [arg for arg in call.args
+                if not isinstance(arg, ast.Starred)]
+        for param in summary.release_params:
+            if param < len(args):
+                key = model.unparse(args[param])
+            else:
+                key = "*"
+            state, released = self._apply_release(state, key, line,
+                                                  strong=True)
+            events.extend(released)
+        if summary.acquires:
+            if summary.addr_param is not None \
+                    and summary.addr_param < len(args):
+                key = model.unparse(args[summary.addr_param])
+            else:
+                key = f"<{name}>"
+            flags: Tuple[str, ...] = ()
+            if isinstance(target, ast.Name):
+                flags = (target.id,)
+            elif isinstance(target, ast.Tuple) and target.elts \
+                    and isinstance(target.elts[0], ast.Name):
+                flags = (target.elts[0].id,)
+            lock = Lock(key=key, flags=flags, line=line)
+            locks = [lk for lk in state.locks if lk.key != key]
+            locks.append(lock)
+            state = state.with_locks(locks).drop_released(key)
+            events.append(f"line {line}: lock on `{key}` acquired via "
+                          f"{name}(), flag in {flags or ('<none>',)}")
+        return state, trace + tuple(events)
+
+    # -- plain assignments ----------------------------------------------
+    def _assign_transfer(self, stmt: ast.Assign, state: State,
+                         trace: Trace) -> Tuple[State, Trace]:
+        pairs = self._assign_pairs(stmt)
+        events: List[str] = []
+        for name, value in pairs:
+            state, evs = self._apply_assign(name, value, stmt.lineno,
+                                            state)
+            events.extend(evs)
+        return state, trace + tuple(events)
+
+    def _assign_pairs(self, stmt: ast.Assign) -> List[
+            Tuple[str, Optional[ast.expr]]]:
+        pairs: List[Tuple[str, Optional[ast.expr]]] = []
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                pairs.append((target.id, stmt.value))
+            elif isinstance(target, ast.Tuple):
+                value = stmt.value
+                if isinstance(value, ast.Tuple) \
+                        and len(value.elts) == len(target.elts):
+                    for elt, sub in zip(target.elts, value.elts):
+                        if isinstance(elt, ast.Name):
+                            pairs.append((elt.id, sub))
+                else:
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            pairs.append((elt.id, None))
+        return pairs
+
+    def _apply_assign(self, name: str, value: Optional[ast.expr],
+                      line: int, state: State) -> Tuple[State,
+                                                        List[str]]:
+        events: List[str] = []
+        value_text = model.unparse(value) if value is not None else ""
+        # 1. Release-carrying values: a list/expr containing release
+        #    verbs, a factory call, or a copy of another release var.
+        if value is not None:
+            key = self._release_value_key(value, state)
+            if key is not None:
+                state = state.set_release_var(name, key)
+        # 2. Alias derivation: `won = [s for s, _ in lock_results]`
+        #    makes `won` another flag for the lock_results lock.
+        if value is not None:
+            value_roots = model.names_loaded(value)
+            locks: List[Lock] = []
+            for lock in state.locks:
+                if lock.flags and name not in lock.flag_roots() \
+                        and (lock.flag_roots() & value_roots):
+                    locks.append(replace(
+                        lock, flags=tuple(sorted(
+                            set(lock.flags) | {name}))))
+                else:
+                    locks.append(lock)
+            state = state.with_locks(locks)
+        # 3. Rename: assigning a held lock's key expression to a new
+        #    name re-keys the lock (`cur_addr = cur.link_addr` after
+        #    acquiring `cur.link_addr`); the window under the new name
+        #    reopens.
+        renamed: Set[str] = set()
+        if value_text:
+            locks = []
+            for lock in state.locks:
+                if lock.key == value_text:
+                    locks.append(replace(lock, key=name))
+                    renamed.add(name)
+                else:
+                    locks.append(lock)
+            state = state.with_locks(locks)
+        if name in renamed:
+            state = state.drop_released(name)
+        # 4. Overwrite/staleness: other locks or windows keyed through
+        #    `name` now refer to a dead value.  Stale lock keys are
+        #    kept (the lock is still held remotely!) under a canonical
+        #    `?name`-marked key; stale windows are dropped.
+        locks = []
+        for lock in state.locks:
+            if name in renamed and lock.key == name:
+                locks.append(lock)
+                continue
+            tokens = model.key_tokens(lock.key)
+            if tokens and tokens[0] == name and not lock.key.startswith(
+                    "?"):
+                locks.append(replace(lock, key=f"?{name}"))
+            else:
+                locks.append(lock)
+        state = state.with_locks(locks)
+        for key in list(state.released):
+            tokens = model.key_tokens(key)
+            if tokens and tokens[0] == name and key != name:
+                state = state.drop_released(key)
+        # 5. Flag overwrite: reassigning a flag name from an unrelated
+        #    value promotes conditional locks to held (the stale flag
+        #    can no longer be tested meaningfully).
+        if value is not None:
+            value_roots = model.names_loaded(value)
+            locks = []
+            for lock in state.locks:
+                if lock.flags and name in lock.flag_roots() \
+                        and not (lock.flag_roots() & value_roots):
+                    locks.append(replace(lock, flags=()))
+                else:
+                    locks.append(lock)
+            state = state.with_locks(locks)
+        return state, events
+
+    def _release_value_key(self, value: ast.expr,
+                           state: State) -> Optional[str]:
+        if isinstance(value, ast.Name):
+            return state.release_var_key(value.id)
+        if isinstance(value, ast.Call):
+            name = model.call_name(value)
+            if name is not None:
+                summary = self.resolver(name)
+                if summary is not None and summary.factory \
+                        and summary.release_params:
+                    param = summary.release_params[0]
+                    if param < len(value.args):
+                        return model.unparse(value.args[param])
+                    return "*"
+        if model.contains_release_verb(value, self.env):
+            direct = (isinstance(value, ast.Call)
+                      and model.release_key(value, self.env))
+            if direct:
+                return str(direct)
+            return "*"
+        return None
+
+    def _augassign_transfer(self, stmt: ast.AugAssign, state: State,
+                            trace: Trace) -> Tuple[State, Trace]:
+        if isinstance(stmt.target, ast.Name) \
+                and model.contains_release_verb(stmt.value, self.env):
+            state = state.set_release_var(stmt.target.id, "*")
+        return state, trace
+
+    def _expr_transfer(self, stmt: ast.Expr, state: State,
+                       trace: Trace) -> Tuple[State, Trace]:
+        value = stmt.value
+        if isinstance(value, ast.Call) \
+                and isinstance(value.func, ast.Attribute) \
+                and value.func.attr in ("append", "extend") \
+                and isinstance(value.func.value, ast.Name):
+            if any(model.contains_release_verb(arg, self.env)
+                   for arg in value.args):
+                state = state.set_release_var(value.func.value.id, "*")
+        return state, trace
+
+    # -- summary extraction ---------------------------------------------
+    def _summary(self) -> FuncSummary:
+        acquires = bool(self.escaped)
+        addr_param: Optional[int] = None
+        if acquires:
+            params = {param for _lock, param in self.escaped}
+            if len(params) == 1:
+                addr_param = params.pop()
+        return FuncSummary(
+            acquires=acquires, addr_param=addr_param,
+            release_params=tuple(sorted(self.ambient_release_params)))
+
+
+def factory_summary(func: FuncDef) -> Optional[FuncSummary]:
+    """Syntactic detection of release-verb factories: a non-generator
+    whose return value is a release-tagged verb constructor."""
+    from .cfg import is_generator
+    if is_generator(func):
+        return None
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Return) \
+                and isinstance(stmt.value, ast.Call) \
+                and model.lease_kind(stmt.value) == "release" \
+                and model.call_name(stmt.value) in model.WRITE_VERBS:
+            call = stmt.value
+            args = func.args
+            params = [a.arg for a in args.posonlyargs + args.args]
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+            param = 0
+            if call.args:
+                addr_text = model.unparse(call.args[0])
+                if addr_text in params:
+                    param = params.index(addr_text)
+            return FuncSummary(factory=True, release_params=(param,))
+    return None

@@ -1,0 +1,140 @@
+"""Findings and inline suppressions shared by dmverify and lint.
+
+A :class:`Finding` is one diagnostic anchored to a file/line; dmverify
+findings additionally carry a *witness* - the sequence of abstract
+events (lock acquired here, CAS flag tested there) along the concrete
+CFG path that reaches the violation, so a reader can replay the path
+without re-running the analysis.
+
+:class:`Suppressions` implements the pragma convention shared by both
+tools, parameterized on the tool name::
+
+    yield CasOp(a, 0, 1)  # dmverify: disable=S002
+    # dmverify: disable-file=S001   (first ten lines of the file)
+
+which mirrors the existing ``# lint: disable=L001`` syntax exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``path:line: RULE message`` plus a path witness."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    witness: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def render_witness(self, indent: str = "    ") -> List[str]:
+        if not self.witness:
+            return []
+        lines = [f"{indent}path witness:"]
+        lines.extend(f"{indent}  - {step}" for step in self.witness)
+        return lines
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.witness:
+            payload["witness"] = list(self.witness)
+        return payload
+
+
+def sort_key(finding: Finding) -> Tuple[str, int, str, str]:
+    return (finding.path, finding.line, finding.rule, finding.message)
+
+
+def dedupe(findings: List[Finding]) -> List[Finding]:
+    """Drop duplicate (path, line, rule, message) findings, keep order.
+
+    The CFG builder duplicates ``finally`` bodies per exit route, so one
+    source statement may be analyzed on several routes and report the
+    same violation more than once; only the first (with its witness) is
+    kept.
+    """
+    seen: Set[Tuple[str, int, str, str]] = set()
+    out: List[Finding] = []
+    for finding in findings:
+        key = (finding.path, finding.line, finding.rule, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(finding)
+    return out
+
+
+@dataclass
+class Suppressions:
+    """Line and file pragmas for one tool (``dmverify`` or ``lint``)."""
+
+    tool: str
+    lines: List[str] = field(default_factory=list)
+    _line_pragma: "re.Pattern[str]" = field(init=False, repr=False)
+    _file_disabled: Set[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._line_pragma = re.compile(
+            rf"#\s*{self.tool}:\s*disable=([A-Z0-9,\s]+)")
+        file_pragma = re.compile(
+            rf"#\s*{self.tool}:\s*disable-file=([A-Z0-9,\s]+)")
+        disabled: Set[str] = set()
+        for line in self.lines[:10]:
+            match = file_pragma.search(line)
+            if match:
+                disabled.update(
+                    r.strip() for r in match.group(1).split(","))
+        self._file_disabled = disabled
+
+    @classmethod
+    def for_source(cls, tool: str, source: str) -> "Suppressions":
+        return cls(tool=tool, lines=source.splitlines())
+
+    def suppressed(self, rule: str, lineno: int) -> bool:
+        if rule in self._file_disabled:
+            return True
+        if 1 <= lineno <= len(self.lines):
+            match = self._line_pragma.search(self.lines[lineno - 1])
+            if match:
+                tagged = {r.strip() for r in match.group(1).split(",")}
+                if rule in tagged:
+                    return True
+        return False
+
+    def apply(self, findings: List[Finding]) -> List[Finding]:
+        return [f for f in findings
+                if not self.suppressed(f.rule, f.line)]
+
+
+#: dmverify rules that semantically upgrade an existing lint rule: a
+#: ``# lint: disable=<old>`` pragma at the same site also silences the
+#: upgraded rule, so justifications written once are not demanded twice.
+LINT_EQUIVALENTS: Dict[str, str] = {"S004": "L006"}
+
+
+def apply_suppressions(findings: List[Finding], tool_sup: Suppressions,
+                       lint_sup: Suppressions) -> List[Finding]:
+    """Filter ``findings`` by the tool's own pragmas and, for rules with
+    a lint equivalent, by the pre-existing lint pragma as well."""
+    kept: List[Finding] = []
+    for finding in findings:
+        if tool_sup.suppressed(finding.rule, finding.line):
+            continue
+        old = LINT_EQUIVALENTS.get(finding.rule)
+        if old is not None and lint_sup.suppressed(old, finding.line):
+            continue
+        kept.append(finding)
+    return kept

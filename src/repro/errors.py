@@ -6,6 +6,12 @@ can catch library failures without masking programming errors.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # import-cycle safety: runtime stays dependency-free
+    from .dm.rdma import OpStats
+    from .fault.inject import FaultEvent
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -82,7 +88,8 @@ class InjectedFault(ReproError):
     """
 
     def __init__(self, message: str, *, kind: str = "fault",
-                 addr: "int | None" = None, applied: bool = False):
+                 addr: Optional[int] = None,
+                 applied: bool = False) -> None:
         super().__init__(message)
         self.kind = kind        # fault-rule kind ("drop", "nak", ...)
         self.addr = addr        # target global address, when known
@@ -101,8 +108,8 @@ class MNUnavailable(IndexError_):
     operation as failed goodput.
     """
 
-    def __init__(self, message: str, *, mn: "int | None" = None,
-                 addr: "int | None" = None):
+    def __init__(self, message: str, *, mn: Optional[int] = None,
+                 addr: Optional[int] = None) -> None:
         super().__init__(message)
         self.mn = mn
         self.addr = addr
@@ -118,8 +125,8 @@ class ClientCrash(ReproError):
     use raises this same error immediately.
     """
 
-    def __init__(self, message: str, *, client: "str | None" = None,
-                 applied: bool = False):
+    def __init__(self, message: str, *, client: Optional[str] = None,
+                 applied: bool = False) -> None:
         super().__init__(message)
         self.client = client
         self.applied = applied  # did the dying verb's side effect land?
@@ -137,15 +144,19 @@ class RetryLimitExceeded(IndexError_):
     the recent injected-fault trace when a fault plan was active.
     """
 
-    def __init__(self, message: str, *, addr: "int | None" = None):
+    def __init__(self, message: str, *,
+                 addr: Optional[int] = None) -> None:
         super().__init__(message)
         self.message = message
         self.addr = addr
-        self.client: "str | None" = None
-        self.stats = None  # OpStats snapshot, attached by the executor
-        self.fault_trace: tuple = ()  # recent FaultEvents, when injecting
+        self.client: Optional[str] = None
+        # OpStats snapshot, attached by the executor.
+        self.stats: Optional["OpStats"] = None
+        # Recent FaultEvents, when a fault plan was active.
+        self.fault_trace: Tuple["FaultEvent", ...] = ()
 
-    def attach_context(self, client, stats) -> None:
+    def attach_context(self, client: Optional[str],
+                       stats: Optional["OpStats"]) -> None:
         """Called by the driving executor; first attachment wins (the
         innermost executor is the one that actually ran the verbs)."""
         if self.client is None:
@@ -153,7 +164,8 @@ class RetryLimitExceeded(IndexError_):
         if self.stats is None:
             self.stats = stats
 
-    def attach_fault_trace(self, trace) -> None:
+    def attach_fault_trace(self,
+                           trace: Iterable["FaultEvent"]) -> None:
         """Called by an executor driving under an attached fault plan;
         first attachment wins, like :meth:`attach_context`."""
         if not self.fault_trace:

@@ -61,7 +61,8 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, \
+    Tuple
 
 from ..art.keys import common_prefix_len
 from ..art.layout import (
@@ -424,7 +425,9 @@ def repair_findings(cluster: Cluster, index,
         if finding.kind == "invalid_leaf":
             slot_addr, slot_word = finding.meta
 
-            def clear_slot(addr=slot_addr, word=slot_word):
+            def clear_slot(addr: int = slot_addr,
+                           word: int = slot_word
+                           ) -> Iterator[CasOp]:
                 swapped, _ = yield CasOp(addr, word, 0)
                 return swapped
 
@@ -432,7 +435,9 @@ def repair_findings(cluster: Cluster, index,
         elif finding.kind == "inht_orphan":
             (entry_word,) = finding.meta
 
-            def clear_entry(addr=finding.addr, word=entry_word):
+            def clear_entry(addr: int = finding.addr,
+                            word: int = entry_word
+                            ) -> Iterator[CasOp]:
                 swapped, _ = yield CasOp(addr, word, 0)
                 return swapped
 
@@ -476,7 +481,8 @@ EXIT_REPAIRED = 1
 EXIT_UNREPAIRABLE = 2
 
 
-def _build_scenario(keys: int, seed: int, crash_verb: int):
+def _build_scenario(keys: int, seed: int,
+                    crash_verb: int) -> Tuple[Any, Any, Any]:
     """A self-contained Sphinx workload; with ``crash_verb`` > 0 a
     ``crash_cn`` fault kills the churn client mid-run, leaving orphan
     locks and half-writes for fsck/recovery to find."""
@@ -518,7 +524,55 @@ def _build_scenario(keys: int, seed: int, crash_verb: int):
     return cluster, index, manager
 
 
-def main(argv=None) -> int:
+def _exit_code(report: FsckReport, dry_run: bool, recovered: bool) -> int:
+    if dry_run:
+        if report.clean and not report.findings:
+            return EXIT_CLEAN
+        if report.findings and all(f.repairable for f in report.findings):
+            return EXIT_REPAIRED
+        return EXIT_UNREPAIRABLE
+    if not report.clean or report.unrepairable:
+        # Unrepairable findings (e.g. an orphaned lock, which only lease
+        # recovery may clear) fail the check even when they are
+        # warning-level: exit 2 tells the operator to run --recover.
+        return EXIT_UNREPAIRABLE
+    if report.repaired or recovered:
+        return EXIT_REPAIRED
+    return EXIT_CLEAN
+
+
+def report_json(report: FsckReport, exit_code: int,
+                recovery_summary: Optional[str] = None
+                ) -> Dict[str, Any]:
+    """Machine-readable twin of the text output; ``exit_code`` mirrors
+    the process exit status (0 clean / 1 repaired / 2 unrepairable)."""
+    return {
+        "tool": "fsck",
+        "version": 1,
+        "exit_code": exit_code,
+        "clean": report.clean,
+        "summary": report.summary(),
+        "inner_nodes": report.inner_nodes,
+        "leaves": report.leaves,
+        "max_depth": report.max_depth,
+        "inht": {
+            "checked": report.inht_checked,
+            "missing": report.inht_missing,
+            "stale_tolerated": report.inht_stale_tolerated,
+            "entries": report.inht_entries,
+            "orphans": report.inht_orphans,
+        },
+        "errors": list(report.errors),
+        "warnings": list(report.warnings),
+        "findings": [{"kind": f.kind, "addr": f.addr, "detail": f.detail,
+                      "repairable": f.repairable}
+                     for f in report.findings],
+        "repaired": report.repaired,
+        "recovery": recovery_summary,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.fsck",
         description="Consistency-check (and optionally repair) a Sphinx "
@@ -536,35 +590,35 @@ def main(argv=None) -> int:
                         help="apply repairable findings, then re-check")
     parser.add_argument("--dry-run", action="store_true",
                         help="report findings without writing anything")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (default text)")
     args = parser.parse_args(argv)
 
     cluster, index, manager = _build_scenario(args.keys, args.seed,
                                               args.crash_verb)
+    recovery_summary = None
     if args.recover:
         recovery = manager.recover(index=index)
-        print(recovery.summary())
+        recovery_summary = recovery.summary()
+        if args.format == "text":
+            print(recovery_summary)
     repair = args.repair and not args.dry_run
     report = check_index(cluster, index, repair=repair)
+    recovered = bool(args.recover and manager.last_report is not None
+                     and manager.last_report.reclaimed)
+    code = _exit_code(report, args.dry_run, recovered)
+    if args.format == "json":
+        import json
+        print(json.dumps(report_json(report, code, recovery_summary),
+                         indent=2, sort_keys=True))
+        return code
     print(report.summary())
     for finding in report.findings:
         action = ("repairable" if finding.repairable else "unrepairable")
         print(f"  [{finding.kind}] {finding.addr:#x}: {finding.detail} "
               f"({action})")
-    if args.dry_run:
-        if report.clean and not report.findings:
-            return EXIT_CLEAN
-        if report.findings and all(f.repairable for f in report.findings):
-            return EXIT_REPAIRED
-        return EXIT_UNREPAIRABLE
-    if not report.clean or report.unrepairable:
-        # Unrepairable findings (e.g. an orphaned lock, which only lease
-        # recovery may clear) fail the check even when they are
-        # warning-level: exit 2 tells the operator to run --recover.
-        return EXIT_UNREPAIRABLE
-    if report.repaired or (args.recover and manager.last_report is not None
-                           and manager.last_report.reclaimed):
-        return EXIT_REPAIRED
-    return EXIT_CLEAN
+    return code
 
 
 if __name__ == "__main__":

@@ -30,161 +30,67 @@ rules catch the same classes of bug at rest:
   pragma with a justification.  Infrastructure layers (dm/sim/obs/bench/
   ycsb) are exempt: their loops pace engine events, not client retries.
 
+L001, L002, and L006 run over the CFGs built by :mod:`repro.analysis`
+(the same graphs dmverify's flow rules use), so each statement is
+checked exactly once and the exemption lists live in one place
+(``repro.analysis.rules``).  L003/L004 remain a plain AST visitor and
+L005 a git query.  ``python -m repro.tools.dmverify`` layers the
+path-sensitive S-rules on top; S004 is the semantic upgrade of L006
+(constants are propagated, ``while`` counters count) and honors
+``# lint: disable=L006`` pragmas at the same site.
+
 Suppressions: append ``# lint: disable=L001`` to the offending line, or
 put ``# lint: disable-file=L001`` in the first ten lines of a file.
-Run as ``python -m repro.tools.lint [paths...]``; exits non-zero when
-findings remain.
+Run as ``python -m repro.tools.lint [--format=text|json] [paths...]``;
+exits non-zero when findings remain.
 """
 
 from __future__ import annotations
 
 import ast
-import re
+import json
 import subprocess
 import sys
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence
 
-_DATA_PLANE_METHODS = frozenset(
-    {"read", "write", "read_u64", "write_u64", "cas_u64", "faa_u64"})
-_MEMORY_NAME = re.compile(r"(^|_)(mem|memory|memories)($|_|\b)")
+from repro.analysis import rules as _rules
+from repro.analysis.cfg import build_cfgs
+from repro.analysis.findings import (Finding, Suppressions, dedupe,
+                                     sort_key)
+
 _BUILTIN_EXCEPTIONS = frozenset({
     "Exception", "ValueError", "KeyError", "TypeError", "RuntimeError",
     "IndexError", "LookupError", "ArithmeticError", "OSError",
     "AttributeError", "MemoryError",
 })
-_LINE_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
-_FILE_PRAGMA = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
 
-#: Directories (relative to the package root) whose files own the
-#: data plane and may touch Memory directly.
-_L001_EXEMPT_PARTS = ("repro/dm/", "repro/tools/", "repro/san/",
-                      "repro/fault/")
+#: Directories whose files own the data plane and may touch Memory
+#: directly.  Canonical list lives in repro.analysis.rules.
+_L001_EXEMPT_PARTS = _rules.L001_EXEMPT_PARTS
 
 #: Layers whose loops pace engine/bench events rather than client-side
 #: protocol retries; L006 only governs the latter.
-_L006_EXEMPT_PARTS = _L001_EXEMPT_PARTS + (
-    "repro/sim/", "repro/obs/", "repro/bench/", "repro/ycsb/")
+_L006_EXEMPT_PARTS = _rules.L006_EXEMPT_PARTS
 
 
-@dataclass(frozen=True)
-class Finding:
-    path: str
-    line: int
-    rule: str
-    message: str
+class _Visitor(ast.NodeVisitor):
+    """L003 (empty Batch literal) and L004 (builtin raise)."""
 
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-def _receiver_names(node: ast.expr) -> Set[str]:
-    """Identifier fragments appearing in an attribute call's receiver."""
-    names: Set[str] = set()
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Name):
-            names.add(sub.id)
-        elif isinstance(sub, ast.Attribute):
-            names.add(sub.attr)
-    return names
-
-
-def _looks_like_memory(node: ast.expr) -> bool:
-    return any(_MEMORY_NAME.search(name) for name in _receiver_names(node))
-
-
-class _Linter(ast.NodeVisitor):
-    def __init__(self, path: Path, rel: str, source: str):
+    def __init__(self, rel: str) -> None:
         self.rel = rel
-        self.lines = source.splitlines()
         self.findings: List[Finding] = []
-        self.file_disabled = self._file_pragmas()
-        normalized = rel.replace("\\", "/")
-        self.l001_exempt = any(part in normalized
-                               for part in _L001_EXEMPT_PARTS)
-        self.l006_exempt = any(part in normalized
-                               for part in _L006_EXEMPT_PARTS)
 
-    def _file_pragmas(self) -> Set[str]:
-        disabled: Set[str] = set()
-        for line in self.lines[:10]:
-            match = _FILE_PRAGMA.search(line)
-            if match:
-                disabled.update(
-                    r.strip() for r in match.group(1).split(","))
-        return disabled
-
-    def _suppressed(self, rule: str, lineno: int) -> bool:
-        if rule in self.file_disabled:
-            return True
-        if 1 <= lineno <= len(self.lines):
-            match = _LINE_PRAGMA.search(self.lines[lineno - 1])
-            if match and rule in {r.strip()
-                                  for r in match.group(1).split(",")}:
-                return True
-        return False
-
-    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
-        if not self._suppressed(rule, node.lineno):
-            self.findings.append(
-                Finding(self.rel, node.lineno, rule, message))
-
-    # -- L001: data-plane bypass ---------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
-        if not self.l001_exempt and isinstance(node.func, ast.Attribute) \
-                and node.func.attr in _DATA_PLANE_METHODS \
-                and _looks_like_memory(node.func.value):
-            self._emit(
-                "L001", node,
-                f"direct Memory.{node.func.attr}() bypasses the executors "
-                f"(and DMSan); go through verb generators, or pragma a "
-                f"control-plane exception")
-        # L003: empty doorbell literal.
         if isinstance(node.func, ast.Name) and node.func.id == "Batch" \
                 and len(node.args) == 1 and not node.keywords:
             arg = node.args[0]
             if isinstance(arg, (ast.List, ast.Tuple)) and not arg.elts:
-                self._emit("L003", node,
-                           "empty Batch literal: a doorbell needs >= 1 verb")
+                self.findings.append(Finding(
+                    self.rel, node.lineno, "L003",
+                    "empty Batch literal: a doorbell needs >= 1 verb"))
         self.generic_visit(node)
 
-    # -- L002: discarded CAS result ------------------------------------
-    def visit_Expr(self, node: ast.Expr) -> None:
-        value = node.value
-        if isinstance(value, ast.Yield) and value.value is not None:
-            yielded = value.value
-            if isinstance(yielded, ast.Call) \
-                    and isinstance(yielded.func, ast.Name) \
-                    and yielded.func.id == "CasOp":
-                self._emit(
-                    "L002", node,
-                    "CAS result discarded: the swapped flag must be "
-                    "consumed (an unchecked CAS is a lock that may have "
-                    "silently failed)")
-        self.generic_visit(node)
-
-    # -- L006: bare retry loops ----------------------------------------
-    def visit_For(self, node: ast.For) -> None:
-        if not self.l006_exempt and isinstance(node.iter, ast.Call) \
-                and isinstance(node.iter.func, ast.Name) \
-                and node.iter.func.id == "range" \
-                and node.iter.args \
-                and all(isinstance(a, ast.Constant)
-                        for a in node.iter.args):
-            yields_verbs = any(
-                isinstance(sub, (ast.Yield, ast.YieldFrom))
-                for child in node.body for sub in ast.walk(child))
-            if yields_verbs:
-                self._emit(
-                    "L006", node,
-                    "bare retry loop: a bounded loop that yields verbs "
-                    "must take its bound from RetryPolicy (see "
-                    "repro.fault.retry), or pragma an intrinsic protocol "
-                    "bound with a justification")
-        self.generic_visit(node)
-
-    # -- L004: builtin exceptions --------------------------------------
     def visit_Raise(self, node: ast.Raise) -> None:
         exc = node.exc
         name = None
@@ -193,14 +99,14 @@ class _Linter(ast.NodeVisitor):
         elif isinstance(exc, ast.Name):
             name = exc.id
         if name in _BUILTIN_EXCEPTIONS:
-            self._emit(
-                "L004", node,
+            self.findings.append(Finding(
+                self.rel, node.lineno, "L004",
                 f"raise of builtin {name}: library errors must derive "
-                f"from ReproError (see repro.errors)")
+                f"from ReproError (see repro.errors)"))
         self.generic_visit(node)
 
 
-def lint_file(path: Path, root: Path | None = None) -> List[Finding]:
+def lint_file(path: Path, root: Optional[Path] = None) -> List[Finding]:
     rel = str(path.relative_to(root)) if root else str(path)
     source = path.read_text(encoding="utf-8")
     try:
@@ -208,9 +114,20 @@ def lint_file(path: Path, root: Path | None = None) -> List[Finding]:
     except SyntaxError as exc:
         return [Finding(rel, exc.lineno or 0, "L000",
                         f"syntax error: {exc.msg}")]
-    linter = _Linter(path, rel, source)
-    linter.visit(tree)
-    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.rule))
+    cfgs = build_cfgs(tree, modname=rel)
+    raw = _rules.lint_rules(
+        cfgs,
+        l001_exempt=_rules.is_exempt(rel, _L001_EXEMPT_PARTS),
+        l006_exempt=_rules.is_exempt(rel, _L006_EXEMPT_PARTS))
+    findings = [Finding(rel, item.line, item.rule, item.message)
+                for item in raw]
+    visitor = _Visitor(rel)
+    visitor.visit(tree)
+    findings.extend(visitor.findings)
+    suppressions = Suppressions.for_source("lint", source)
+    kept = [f for f in findings
+            if not suppressions.suppressed(f.rule, f.line)]
+    return dedupe(sorted(kept, key=sort_key))
 
 
 def lint_paths(paths: Sequence[Path]) -> List[Finding]:
@@ -225,7 +142,7 @@ def lint_paths(paths: Sequence[Path]) -> List[Finding]:
     return findings
 
 
-def lint_tracked_pyc(start: Path | None = None) -> List[Finding]:
+def lint_tracked_pyc(start: Optional[Path] = None) -> List[Finding]:
     """L005: ``.pyc`` files tracked by git.
 
     Resolves the repository containing ``start`` (default: this package)
@@ -261,9 +178,20 @@ def default_target() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
-def main(argv: Iterable[str] | None = None) -> int:
+def main(argv: Optional[Iterable[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    targets = [Path(a) for a in args] if args else [default_target()]
+    fmt = "text"
+    paths: List[str] = []
+    for arg in args:
+        if arg in ("--format=text", "--format=json"):
+            fmt = arg.split("=", 1)[1]
+        elif arg == "--format" or arg.startswith("--format="):
+            print("lint: error: --format requires =text or =json",
+                  file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    targets = [Path(p) for p in paths] if paths else [default_target()]
     missing = [t for t in targets if not t.exists()]
     if missing:
         for target in missing:
@@ -272,11 +200,23 @@ def main(argv: Iterable[str] | None = None) -> int:
         return 2
     findings = lint_paths(targets)
     findings.extend(lint_tracked_pyc(targets[0]))
-    for finding in findings:
-        print(finding.render())
     counts: Dict[str, int] = {}
     for finding in findings:
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if fmt == "json":
+        payload = {
+            "tool": "lint",
+            "version": 1,
+            "targets": [str(t) for t in targets],
+            "counts": counts,
+            "findings": [f.to_json() for f in findings],
+            "clean": not findings,
+            "exit_code": 1 if findings else 0,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if findings else 0
+    for finding in findings:
+        print(finding.render())
     if findings:
         breakdown = ", ".join(f"{r}={n}" for r, n in sorted(counts.items()))
         print(f"lint: {len(findings)} finding(s) ({breakdown})")

@@ -1,0 +1,19 @@
+"""S001: the early return on a version conflict forgets the unlock."""
+
+IDLE = 0
+
+
+def update_node(addr, payload, version):
+    swapped, _ = yield CasOp(addr, pack(locked=0, version=version),
+                             pack(locked=1, version=version + 1),
+                             lease=("node",))
+    if not swapped:
+        return False
+    fresh = yield ReadOp(addr + 8, 8)
+    if fresh != payload:
+        # BUG: leaves the node locked on the conflict path.
+        return False
+    yield WriteOp(addr + 8, payload)
+    yield WriteOp(addr, pack(locked=0, version=version + 2),
+                  lease=("release",))
+    return True

@@ -1,0 +1,19 @@
+"""S001: an injected fault between acquire and release leaks the lock
+through the except-return; the error path also raises while locked."""
+
+
+def move_entry(src_addr, dst_addr, entry):
+    swapped, _ = yield CasOp(src_addr, pack(locked=0), pack(locked=1),
+                             lease=("leaf",))
+    if not swapped:
+        return None
+    try:
+        yield WriteOp(dst_addr, entry)
+    except InjectedFault:
+        # BUG: gives up without rolling the lock word back.
+        return None
+    if entry is None:
+        # BUG: raises while still holding the source lock.
+        raise ProtocolError("nothing to move")
+    yield WriteOp(src_addr, pack(locked=0), lease=("release",))
+    return True

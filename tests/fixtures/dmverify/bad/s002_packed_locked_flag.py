@@ -1,0 +1,13 @@
+"""S002 via the decisive pack(locked=...) check: the words are built
+under innocuous names, only the keyword argument gives them away."""
+
+
+def claim_group(group_addr, depth, version):
+    before = HEADER.pack(local_depth=depth, locked=0, version=version)
+    after = HEADER.pack(local_depth=depth, locked=1, version=version + 1)
+    # BUG: untagged acquire; the names say nothing, the pack() does.
+    swapped, _ = yield CasOp(group_addr, before, after)
+    if not swapped:
+        return False
+    yield WriteOp(group_addr, before, lease=("release",))
+    return True

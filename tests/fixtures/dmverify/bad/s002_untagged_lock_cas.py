@@ -1,0 +1,11 @@
+"""S002: a lock-acquiring CAS with no lease tag is invisible to crash
+recovery."""
+
+
+def lock_leaf(leaf_addr, idle_word, locked_word):
+    # BUG: no lease=(...) tag on an unlocked -> locked transition.
+    swapped, _ = yield CasOp(leaf_addr, idle_word, locked_word)
+    if not swapped:
+        return False
+    yield WriteOp(leaf_addr, idle_word, lease=("release",))
+    return True

@@ -1,0 +1,18 @@
+"""S003 across a helper: the release happens inside unlock_node(),
+the late write happens in the caller."""
+
+
+def unlock_node(addr, image):
+    yield WriteOp(addr, image, lease=("release",))
+
+
+def rebalance(node_addr, image, spill):
+    swapped, _ = yield CasOp(node_addr, pack(locked=0), pack(locked=1),
+                             lease=("node",))
+    if not swapped:
+        return False
+    yield WriteOp(node_addr + 16, spill)
+    yield from unlock_node(node_addr, image)
+    # BUG: the spill pointer write escaped the window.
+    yield WriteOp(node_addr + 24, spill)
+    return True

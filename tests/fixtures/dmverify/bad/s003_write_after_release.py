@@ -1,0 +1,14 @@
+"""S003: a straggler write lands after the release closed the
+window."""
+
+
+def append_entry(node_addr, slot, entry):
+    swapped, _ = yield CasOp(node_addr, pack(locked=0), pack(locked=1),
+                             lease=("node",))
+    if not swapped:
+        return False
+    yield WriteOp(node_addr + 8 * slot, entry)
+    yield WriteOp(node_addr, pack(locked=0), lease=("release",))
+    # BUG: the count update races with the next lock holder.
+    yield WriteOp(node_addr + 4, entry[:4])
+    return True

@@ -1,0 +1,14 @@
+"""S004 through constant propagation: the bound hides behind a local
+alias and a while counter."""
+
+
+def drain_queue(head_addr):
+    budget = 32
+    spins = 0
+    # BUG: still a magic bound, just dressed up.
+    while spins < budget:
+        word = yield ReadOp(head_addr, 8)
+        if word == b"\x00" * 8:
+            return True
+        spins += 1
+    return False

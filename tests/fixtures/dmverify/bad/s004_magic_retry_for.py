@@ -1,0 +1,11 @@
+"""S004: a magic retry budget instead of RetryPolicy."""
+
+
+def read_consistent(addr):
+    # BUG: 64 is somebody's lucky number, not a policy.
+    for _attempt in range(64):
+        first = yield ReadOp(addr, 16)
+        second = yield ReadOp(addr, 16)
+        if first == second:
+            return first
+    return None

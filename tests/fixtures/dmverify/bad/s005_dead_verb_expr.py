@@ -1,0 +1,8 @@
+"""S005: a verb constructed as a bare expression never executes."""
+
+
+def flush_header(addr, header):
+    # BUG: missing `yield` - the write silently never happens.
+    WriteOp(addr, header)
+    ack = yield ReadOp(addr, 8)
+    return ack

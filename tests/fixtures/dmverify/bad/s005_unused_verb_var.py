@@ -1,0 +1,9 @@
+"""S005: a verb list is built and then forgotten."""
+
+
+def publish(dir_addr, entries):
+    updates = [WriteOp(dir_addr + 8 * i, entry)
+               for i, entry in enumerate(entries)]
+    # BUG: `updates` is never yielded; only the version bump lands.
+    yield FaaOp(dir_addr, 1)
+    return len(entries)

@@ -1,0 +1,8 @@
+"""S006: a lease-table hook whose on_verb signature does not match
+what executors deliver (client_id, verb, result, now)."""
+
+
+class ShadowLeaseTable:
+    # BUG: drops the result and now arguments the executor passes.
+    def on_verb(self, client_id, verb):
+        pass

@@ -1,0 +1,22 @@
+"""S006: a monitor hook class whose callbacks cannot be invoked by the
+executors (wrong arities, missing methods)."""
+
+
+class CountingMonitor:
+    def __init__(self):
+        self.events = 0
+
+    def bind_clock(self, clock):
+        self.clock = clock
+
+    # BUG: executors call on_issue(client, op, now) - three arguments.
+    def on_issue(self, client):
+        self.events += 1
+
+    def on_apply(self, token, now, result):
+        pass
+
+    # BUG: on_complete(token, now) takes two; on_alloc/on_free/
+    # on_retire are missing entirely.
+    def on_complete(self):
+        pass

@@ -1,0 +1,14 @@
+"""Near-miss for S001: the unlock lives in a finally, so even the
+injected-fault path releases before propagating."""
+
+
+def update_node(addr, payload):
+    swapped, _ = yield CasOp(addr, pack(locked=0), pack(locked=1),
+                             lease=("node",))
+    if not swapped:
+        return False
+    try:
+        yield WriteOp(addr + 8, payload)
+    finally:
+        yield WriteOp(addr, pack(locked=0), lease=("release",))
+    return True

@@ -1,0 +1,14 @@
+"""Near-miss for S001: every exit either lost the CAS or releases."""
+
+
+def rename_child(parent_addr, old, new):
+    res = yield CasOp(parent_addr, pack(locked=0), pack(locked=1),
+                      lease=("node",))
+    if not res[0]:
+        return False
+    yield WriteOp(parent_addr + 8, new)
+    if old == new:
+        yield WriteOp(parent_addr, pack(locked=0), lease=("release",))
+        return False
+    yield WriteOp(parent_addr, pack(locked=0), lease=("release",))
+    return True

@@ -1,0 +1,19 @@
+"""Near-misses for S002: a fencing CAS (locked -> locked version bump,
+an ownership transfer owned by recovery) and an entry-install CAS
+(empty -> entry word, no lock involved) both legitimately carry no
+lease tag."""
+
+
+def fence_segment(group_addr, depth, version):
+    fence_word = HEADER.pack(local_depth=depth, locked=1,
+                             version=version + 1)
+    swapped, _ = yield CasOp(group_addr,
+                             HEADER.pack(local_depth=depth, locked=1,
+                                         version=version),
+                             fence_word)
+    return swapped
+
+
+def install_entry(slot_addr, entry):
+    swapped, _ = yield CasOp(slot_addr, 0, entry.pack())
+    return swapped

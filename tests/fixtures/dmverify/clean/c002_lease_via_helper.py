@@ -1,0 +1,15 @@
+"""Near-miss for S002: the lease tag is built by a helper, not a
+literal tuple - still a tag."""
+
+
+def make_lease(kind, addr):
+    return (kind, addr)
+
+
+def lock_node(node_addr, idle_word, locked_word):
+    swapped, _ = yield CasOp(node_addr, idle_word, locked_word,
+                             lease=make_lease("node", node_addr))
+    if not swapped:
+        return False
+    yield WriteOp(node_addr, idle_word, lease=("release",))
+    return True

@@ -1,0 +1,13 @@
+"""Near-miss for S003: the post-release write targets a different
+structure (a private log), not the released one."""
+
+
+def update_and_log(node_addr, log_addr, payload):
+    swapped, _ = yield CasOp(node_addr, pack(locked=0), pack(locked=1),
+                             lease=("node",))
+    if not swapped:
+        return False
+    yield WriteOp(node_addr + 8, payload)
+    yield WriteOp(node_addr, pack(locked=0), lease=("release",))
+    yield WriteOp(log_addr, payload)
+    return True

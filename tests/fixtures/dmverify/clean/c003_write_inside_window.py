@@ -1,0 +1,12 @@
+"""Near-miss for S003: every mutation stays inside the window."""
+
+
+def update_record(rec_addr, body, footer):
+    swapped, _ = yield CasOp(rec_addr, pack(locked=0), pack(locked=1),
+                             lease=("leaf",))
+    if not swapped:
+        return False
+    yield WriteOp(rec_addr + 8, body)
+    yield WriteOp(rec_addr + 24, footer)
+    yield WriteOp(rec_addr, pack(locked=0), lease=("release",))
+    return True

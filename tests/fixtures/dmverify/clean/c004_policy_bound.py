@@ -1,0 +1,11 @@
+"""Near-miss for S004: the bound comes from RetryPolicy."""
+
+
+def read_with_retry(retry, addr):
+    for attempt in range(retry.max_retries):
+        first = yield ReadOp(addr, 16)
+        second = yield ReadOp(addr, 16)
+        if first == second:
+            return first
+        yield LocalCompute(retry.torn_read_delay(attempt))
+    return None

@@ -1,0 +1,8 @@
+"""Near-miss for S005: verbs built into a list ARE yielded, batched."""
+
+
+def scatter(base_addr, blocks):
+    writes = [WriteOp(base_addr + 64 * i, block)
+              for i, block in enumerate(blocks)]
+    results = yield Batch(writes)
+    return len(results)

@@ -1,0 +1,12 @@
+"""Near-miss for S005: a verb factory returns the op for its caller to
+yield; the local name is read, not dead."""
+
+
+def unlock_op(addr, idle_word):
+    op = WriteOp(addr, idle_word, lease=("release",))
+    return op
+
+
+def release_all(addrs, idle_word):
+    ops = [unlock_op(addr, idle_word) for addr in addrs]
+    yield Batch(ops)

@@ -1,0 +1,25 @@
+"""Near-miss for S006: a monitor implementing the full executor
+callback interface with the exact arities."""
+
+
+class AuditMonitor:
+    def bind_clock(self, clock):
+        self._clock = clock
+
+    def on_issue(self, client, op, now):
+        return (client, now)
+
+    def on_apply(self, token, now, result):
+        pass
+
+    def on_complete(self, token, now):
+        pass
+
+    def on_alloc(self, mn_id, offset, size, category):
+        pass
+
+    def on_free(self, mn_id, offset, size, category):
+        pass
+
+    def on_retire(self, mn_id, offset, size, category):
+        pass

@@ -178,3 +178,48 @@ def test_corrupted_leaf_error_names_address():
     assert not report.clean
     assert any("checksum" in e and f"{slot.addr:#x}" in e
                for e in report.errors)
+
+
+# ---------------------------------------------------------------------------
+# JSON output mirrors the exit-code contract
+# ---------------------------------------------------------------------------
+
+def test_json_report_mirrors_exit_code():
+    import json
+
+    from repro.tools.fsck import EXIT_CLEAN, _exit_code, report_json
+
+    cluster, index, client, ex, keys = build_sphinx(n=60)
+    report = check_index(cluster, index)
+    code = _exit_code(report, dry_run=False, recovered=False)
+    payload = report_json(report, code)
+    assert code == EXIT_CLEAN
+    assert payload["exit_code"] == EXIT_CLEAN
+    assert payload["clean"] is True
+    assert payload["findings"] == []
+    assert payload["leaves"] == report.leaves
+    json.dumps(payload)  # serializable
+
+
+def test_json_report_on_unrepairable_defect():
+    import json
+
+    from repro.tools.fsck import (EXIT_REPAIRED, EXIT_UNREPAIRABLE,
+                                  _exit_code, report_json)
+
+    cluster, index, client, ex, keys = build_sphinx(n=60)
+    report = check_index(cluster, index)
+    report.error("synthetic: torn leaf at rest")
+    report.find("orphan_lock", 0x1000, "node locked at rest",
+                repairable=False)
+    code = _exit_code(report, dry_run=False, recovered=False)
+    payload = report_json(report, code)
+    assert code == EXIT_UNREPAIRABLE
+    assert payload["exit_code"] == EXIT_UNREPAIRABLE
+    assert payload["clean"] is False
+    assert payload["findings"][0]["repairable"] is False
+    json.dumps(payload)
+    # dry-run with only repairable findings maps to EXIT_REPAIRED
+    fresh = check_index(cluster, index)
+    fresh.find("invalid_leaf", 0x2000, "synthetic", repairable=True)
+    assert _exit_code(fresh, dry_run=True, recovered=False) == EXIT_REPAIRED
