@@ -44,6 +44,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..baselines import ArtDmIndex, SmartConfig, SmartIndex
 from ..core import SphinxConfig, SphinxIndex
 from ..dm import Cluster, ClusterConfig
+from ..dm.network import vector_enabled
 from ..errors import ConfigError
 from ..ycsb import Dataset, RunResult, bulk_load, make_dataset, run_workload, \
     warm_clients, workload
@@ -271,8 +272,13 @@ def run_cell(cell: CellSpec) -> RunResult:
     """Execute one grid cell from a pristine loaded-and-warmed snapshot.
 
     Returns the :class:`RunResult` with ``result.perf`` filled in: host
-    wall seconds (including snapshot restore and any cache-miss build),
-    simulation events processed and events per wall second.
+    wall seconds (``wall_s`` includes snapshot restore and any
+    cache-miss build; ``run_wall_s`` is the measured phase alone),
+    simulation events processed, events per *run* wall second (the
+    engine dispatch-rate metric - restore time would pollute it), and
+    which engine mode produced the numbers (``fast``/``fast-novector``/
+    ``slow``), so BENCH_2 wall times are never silently compared across
+    dispatch paths.
     """
     wall_start = time.perf_counter()
     live = copy.deepcopy(_warmed_setup(cell))
@@ -289,16 +295,25 @@ def run_cell(cell: CellSpec) -> RunResult:
         tracer = live.cluster.attach_tracer()
     engine = live.cluster.engine
     events_before = engine.events_processed
+    run_start = time.perf_counter()
     result = run_workload(live.cluster, live.index, workload(cell.workload),
                           live.dataset, system=cell.system,
                           workers=cell.workers, ops=cell.ops,
                           warmup_ops_per_cn=0, seed=cell.seed)
-    wall_s = time.perf_counter() - wall_start
+    wall_end = time.perf_counter()
+    wall_s = wall_end - wall_start
+    run_wall_s = wall_end - run_start
     events = engine.events_processed - events_before
+    if engine._slow:
+        mode = "slow"
+    else:
+        mode = "fast" if vector_enabled() else "fast-novector"
     result.perf = {
         "wall_s": round(wall_s, 4),
+        "run_wall_s": round(run_wall_s, 4),
         "events": events,
-        "events_per_s": round(events / wall_s) if wall_s > 0 else 0,
+        "events_per_s": round(events / run_wall_s) if run_wall_s > 0 else 0,
+        "engine_mode": mode,
         "sim_ns": result.sim_ns,
         "throughput_mops": round(result.throughput_mops, 4),
     }

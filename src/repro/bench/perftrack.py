@@ -24,6 +24,9 @@ shows up in CI rather than as a mysteriously slower benchmark suite::
 Per-cell regressions are printed as warnings; the exit status only turns
 nonzero when the *total* wall time regresses past the threshold (20 % by
 default), which keeps single-cell scheduling noise from failing a build.
+``--max-cell-regress`` arms a second, per-cell gate for suites whose
+cells are individually meaningful (the engine microbenchmarks): any one
+cell slowing past that ratio also fails the check.
 """
 
 from __future__ import annotations
@@ -93,15 +96,19 @@ def load_report(path: str) -> dict:
 
 
 def compare(current: dict, baseline: dict,
-            threshold: float = DEFAULT_THRESHOLD
+            threshold: float = DEFAULT_THRESHOLD,
+            max_cell_regress: Optional[float] = None
             ) -> Tuple[List[str], bool]:
     """Diff two BENCH reports.
 
     Returns ``(messages, failed)``: one message per notable per-cell or
-    total delta; ``failed`` is True only when total wall time regressed
-    by more than ``threshold`` (relative).
+    total delta.  ``failed`` is True when total wall time regressed by
+    more than ``threshold`` (relative), or - when ``max_cell_regress``
+    is given - when any single cell's wall time grew past that ratio
+    (e.g. ``1.5`` fails a cell that got 50% slower).
     """
     messages: List[str] = []
+    failed = False
     base_cells: Dict[Tuple, dict] = {
         _cell_id(c): c for c in baseline.get("cells", ())}
     for cell in current.get("cells", ()):
@@ -114,15 +121,20 @@ def compare(current: dict, baseline: dict,
                 f"cell {cell['system']}/{cell['dataset']}/{cell['workload']}"
                 f" wall {base['wall_s']:.2f}s -> {cell['wall_s']:.2f}s"
                 f" ({ratio:.2f}x)")
+        if max_cell_regress is not None and ratio > max_cell_regress:
+            messages.append(
+                f"cell {cell['system']}/{cell['dataset']}/{cell['workload']}"
+                f" FAILED per-cell gate ({ratio:.2f}x > "
+                f"{max_cell_regress:.2f}x)")
+            failed = True
     base_total = baseline.get("total_wall_s", 0)
     cur_total = current.get("total_wall_s", 0)
-    failed = False
     if base_total > 0:
         ratio = cur_total / base_total
         messages.append(
             f"total wall {base_total:.2f}s -> {cur_total:.2f}s ({ratio:.2f}x,"
             f" threshold {1 + threshold:.2f}x)")
-        failed = ratio > 1 + threshold
+        failed = failed or ratio > 1 + threshold
     return messages, failed
 
 
@@ -137,15 +149,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=DEFAULT_THRESHOLD,
                         help="relative wall-clock regression tolerance "
                              "(default 0.20 = 20%%)")
+    parser.add_argument("--max-cell-regress", type=float, metavar="RATIO",
+                        help="also fail when any single cell's wall time "
+                             "grows past RATIO x baseline (e.g. 1.5); "
+                             "default: only the total gates")
     args = parser.parse_args(argv)
     current = load_report(args.report)
-    print(f"{args.report}: {len(current.get('cells', ()))} cells, "
+    cells = current.get("cells", ())
+    print(f"{args.report}: {len(cells)} cells, "
           f"total wall {current.get('total_wall_s', 0):.2f}s, "
           f"{current.get('total_events', 0)} events")
+    print(f"{'cell':<40} {'wall_s':>8} {'events':>10} {'events/s':>12}")
+    for cell in cells:
+        name = "/".join(str(cell.get(f)) for f in _CELL_ID_FIELDS)
+        wall = cell.get("wall_s", 0)
+        events = cell.get("events", 0)
+        rate = cell.get("events_per_s",
+                        round(events / wall) if wall else 0)
+        print(f"{name:<40} {wall:>8.3f} {events:>10} {rate:>12,}")
     if not args.compare:
         return 0
     messages, failed = compare(current, load_report(args.compare),
-                               args.threshold)
+                               args.threshold, args.max_cell_regress)
     for message in messages:
         print(message)
     if failed:

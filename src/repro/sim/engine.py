@@ -24,28 +24,53 @@ Most events in an RDMA workload are *zero-delay bookkeeping* - process
 bootstraps, ``succeed()`` of batch members, AllOf completions - not
 timing-relevant completions.  The engine therefore keeps two structures:
 
-* a min-heap for events scheduled strictly in the future, and
-* a plain FIFO deque for events due "now".
+* a min-heap of ``(time, seq, event)`` for events scheduled strictly in
+  the future, and
+* a plain FIFO deque of bare events due "now" (each event carries its
+  ``_when``/``_seq`` in slots, so no per-event tuple is allocated).
 
-Both store ``(time, seq, event)`` with a shared monotonically increasing
-``seq``, and :meth:`Engine.run` merges them by ``(time, seq)``, so the
-execution order is **identical** to the single-heap engine - same
-deterministic tie-breaks, same results - while the common case pays a
-deque append/popleft instead of a heap push/pop.  Setting the environment
-variable ``REPRO_SIM_SLOW=1`` (checked at :class:`Engine` construction)
-routes every event through the heap again; the equivalence test in
-``tests/test_sim_fastpath.py`` diffs benchmark rows across the two paths.
+``seq`` is shared and monotonically increasing, so merging the two by
+``(time, seq)`` reproduces the single-heap execution order exactly.  The
+fast loop exploits an invariant of this split: every heap entry at time
+``t`` was created strictly before simulated time ``t`` (a positive delay
+always lands in the future), while every FIFO entry at time ``t`` was
+created *at* time ``t`` - so at each timestamp the heap run drains first,
+then the FIFO run, and nothing created during the drain can sort into the
+part already drained.  :meth:`Engine.run` therefore advances ``self.now``
+once per timestamp and dispatches whole same-time runs in tight inner
+loops ("macro-batch draining") instead of re-entering the heap-vs-FIFO
+comparison per event.
 
-Similarly, almost every event has exactly one subscriber (the generator
-that yielded it), so callbacks live in a single slot (``_cb1``) and only
-spill into a list when a second subscriber appears; a ``yield
-engine.timeout(d)`` resumes its generator straight from the event pop
-with no intermediate callback list.
+Two more mechanisms ride on the batched loop:
+
+* **single-subscriber resume specialization** - almost every event has
+  exactly one subscriber: the generator that yielded it.  The first
+  process to subscribe is stored in a dedicated ``_proc`` slot and the
+  dispatch loop calls ``gen.send`` directly, with no bound-method call,
+  no callback-list walk, and no tuple unpacking.  Later subscribers fall
+  back to the ``_cb1``/``_spill`` slots; dispatch order is always
+  ``_proc`` then ``_cb1`` then ``_spill`` = subscription order.
+* **slab event pooling** - processed single-subscriber :class:`Timeout`
+  objects are recycled onto a free list and reused by
+  :meth:`Engine.timeout`.  An event is recycled only when (a) it is
+  exactly a ``Timeout``, (b) its only subscriber was the ``_proc`` slot
+  (no spilled callbacks), and (c) ``sys.getrefcount`` proves the loop
+  holds the sole reference - so events stored by client code, AllOf
+  children, or anything else introspectable are never recycled.
+
+Setting the environment variable ``REPRO_SIM_SLOW=1`` (checked at
+:class:`Engine` construction) routes every event through the heap again
+and dispatches strictly one event at a time through the callback slots,
+with no pooling and no ``_proc`` specialization - the bit-identical
+reference oracle.  The equivalence suites in ``tests/test_sim_fastpath.py``
+and ``tests/test_perf_equivalence.py`` diff benchmark rows across the two
+paths.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
@@ -57,6 +82,16 @@ PENDING = object()
 #: Sentinel stored in an event's callback slot once the engine has
 #: processed it; late subscribers then run immediately.
 _PROCESSED = object()
+
+#: Sentinel a generator may yield to tell the dispatch loop "I already
+#: subscribed myself to a future event" (see repro.dm.rdma's verb trips).
+#: The loop skips subscriber registration; the generator is resumed when
+#: whatever event it attached itself to fires.
+_DEFER = object()
+
+#: Upper bound on the Timeout free list; beyond this, processed events
+#: are simply dropped to the garbage collector.
+_POOL_CAP = 4096
 
 
 def _slow_requested() -> bool:
@@ -70,12 +105,14 @@ class Event:
     its callbacks for execution at the current simulation time.
     """
 
-    __slots__ = ("engine", "_cb1", "_spill", "_value")
+    __slots__ = ("engine", "_cb1", "_spill", "_value", "_proc", "_when",
+                 "_seq")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
         self._cb1: Optional[Callable[["Event"], None]] = None
         self._spill: Optional[List[Callable[["Event"], None]]] = None
+        self._proc: Optional["Process"] = None
         self._value: Any = PENDING
 
     @property
@@ -94,6 +131,8 @@ class Event:
         if self._cb1 is _PROCESSED:
             return None
         out: List[Callable[["Event"], None]] = []
+        if self._proc is not None:
+            out.append(self._proc._resume_cb)
         if self._cb1 is not None:
             out.append(self._cb1)
         if self._spill:
@@ -150,25 +189,37 @@ class Process(Event):
         # Bind the resume callback once: it is re-registered on every
         # yield, and bound-method creation per event is measurable.
         self._resume_cb = self._resume
-        # Bootstrap: resume once at the current time.
-        boot = Event(engine)
-        boot._cb1 = self._resume_cb
-        boot._value = None
-        engine._queue_event(boot)
+        # Bootstrap: resume once at the current time.  The fast loop's
+        # _proc slot dispatches it straight into the generator; the slow
+        # reference path keeps the callback-slot route.
+        if engine._slow:
+            boot = Event(engine)
+            boot._cb1 = self._resume_cb
+            boot._value = None
+            engine._queue_event(boot)
+        else:
+            boot = engine.timeout(0)
+            boot._proc = self
 
     def _resume(self, event: Event) -> None:
+        engine = self.engine
+        engine._active = self
         try:
             target = self._gen.send(event._value)
         except StopIteration as stop:
             if self._value is PENDING:
                 self.succeed(stop.value)
             return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {type(target).__name__}, "
-                "expected an Event"
-            )
-        target.add_callback(self._resume_cb)
+        if isinstance(target, Event):
+            target.add_callback(self._resume_cb)
+            return
+        if target is _DEFER:
+            return
+        self._gen.close()
+        raise SimulationError(
+            f"process {self.name!r} yielded {type(target).__name__}, "
+            "expected an Event"
+        )
 
 
 class AllOf(Event):
@@ -209,36 +260,74 @@ class Engine:
         self._fifo: deque = deque()
         self._seq = 0
         self._slow = _slow_requested() if slow is None else bool(slow)
+        self._pool: List[Timeout] = []
+        self._active: Optional[Process] = None
+        #: Time bound of the loop currently driving the engine (``until``
+        #: or ``limit``), None when unbounded.  The synchronous verb
+        #: fast-forward in repro.dm.rdma only runs unbounded: with a
+        #: deadline armed, every stage must be a real event so until-
+        #: slicing and limit errors stay bit-identical to the reference.
+        self._deadline: Optional[int] = None
         self.events_processed: int = 0
 
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: int) -> None:
-        self._seq += 1
+        seq = self._seq = self._seq + 1
         if delay == 0 and not self._slow:
-            self._fifo.append((self.now, self._seq, event))
+            event._when = self.now
+            event._seq = seq
+            self._fifo.append(event)
         else:
-            heappush(self._heap, (self.now + delay, self._seq, event))
+            heappush(self._heap, (self.now + delay, seq, event))
 
     def _queue_event(self, event: Event) -> None:
-        self._seq += 1
+        seq = self._seq = self._seq + 1
         if self._slow:
-            heappush(self._heap, (self.now, self._seq, event))
+            heappush(self._heap, (self.now, seq, event))
         else:
-            self._fifo.append((self.now, self._seq, event))
+            event._when = self.now
+            event._seq = seq
+            self._fifo.append(event)
 
     def _peek_time(self) -> Optional[int]:
         """Timestamp of the next event across both queues, if any."""
         if self._fifo:
-            if self._heap and self._heap[0][0] < self._fifo[0][0]:
+            when = self._fifo[0]._when
+            if self._heap and self._heap[0][0] < when:
                 return self._heap[0][0]
-            return self._fifo[0][0]
+            return when
         if self._heap:
             return self._heap[0][0]
         return None
 
     # -- public factory helpers ---------------------------------------
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        return Timeout(self, int(delay), value)
+        # Inlined Timeout construction + scheduling: this is the single
+        # hottest allocation site in the simulator (one per NIC service
+        # completion), so it bypasses __init__ and _schedule and reuses
+        # pooled events directly.
+        if type(delay) is not int:
+            delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+        else:
+            ev = Timeout.__new__(Timeout)
+            ev.engine = self
+            ev._cb1 = None
+            ev._spill = None
+            ev._proc = None
+        ev._value = value
+        seq = self._seq = self._seq + 1
+        if delay == 0 and not self._slow:
+            ev._when = self.now
+            ev._seq = seq
+            self._fifo.append(ev)
+        else:
+            heappush(self._heap, (self.now + delay, seq, ev))
+        return ev
 
     def event(self) -> Event:
         return Event(self)
@@ -253,37 +342,9 @@ class Engine:
     def run(self, until: Optional[int] = None) -> int:
         """Process events until both queues empty or the clock passes
         ``until``.  Returns the final simulation time."""
-        heap = self._heap
-        fifo = self._fifo
-        while heap or fifo:
-            # The FIFO's head carries the smallest (time, seq) of the
-            # FIFO (times are non-decreasing in append order and seq is
-            # globally monotonic), so one head-to-head comparison picks
-            # the globally next event - identical order to one big heap.
-            if fifo and not (heap and heap[0] < fifo[0]):
-                when, _seq, event = fifo[0]
-                if until is not None and when > until:
-                    self.now = until
-                    return until
-                fifo.popleft()
-            else:
-                when, _seq, event = heap[0]
-                if until is not None and when > until:
-                    self.now = until
-                    return until
-                heappop(heap)
-            self.now = when
-            self.events_processed += 1
-            cb1 = event._cb1
-            spill = event._spill
-            event._cb1 = _PROCESSED
-            if cb1 is not None:
-                cb1(event)
-                if spill:
-                    event._spill = None
-                    for fn in spill:
-                        fn(event)
-        return self.now
+        if self._slow:
+            return self._run_ref(until)
+        return self._run_fast(until, None, None)
 
     def run_until_complete(self, process: Process,
                            limit: Optional[int] = None) -> Any:
@@ -292,16 +353,226 @@ class Engine:
         ``limit`` guards against runaway simulations (deadlock / livelock
         bugs) by bounding simulated time.
         """
-        while not process.triggered:
-            when = self._peek_time()
-            if when is None:
+        if self._slow:
+            while not process.triggered:
+                when = self._peek_time()
+                if when is None:
+                    raise SimulationError(
+                        f"deadlock: process {process.name!r} pending with "
+                        "an empty event heap"
+                    )
+                if limit is not None and when > limit:
+                    raise SimulationError(
+                        f"process {process.name!r} exceeded time limit "
+                        f"{limit}"
+                    )
+                self._run_ref(until=when)
+            return process.value
+        if not process.triggered:
+            self._run_fast(None, process, limit)
+        return process.value
+
+    def _run_fast(self, until: Optional[int], stop: Optional[Process],
+                  limit: Optional[int]) -> int:
+        """Batched dispatch loop (the fast path).
+
+        Processes whole same-timestamp runs per iteration: the heap run
+        first (created strictly before this timestamp, so smaller seq),
+        then the FIFO run (created at this timestamp; appends during the
+        drain join the same run in seq order).  ``stop`` turns the loop
+        into ``run_until_complete``: after each complete timestamp batch
+        the stop process is checked, and an empty queue with ``stop``
+        still pending is a deadlock.
+        """
+        heap = self._heap
+        fifo = self._fifo
+        pool = self._pool
+        popleft = fifo.popleft
+        pool_append = pool.append
+        refcount = sys.getrefcount
+        pool_cap = _POOL_CAP
+        processed = 0
+        self._deadline = until if until is not None else limit
+        try:
+            while heap or fifo:
+                if fifo:
+                    t = fifo[0]._when
+                    if heap and heap[0][0] < t:
+                        t = heap[0][0]
+                else:
+                    t = heap[0][0]
+                if until is not None and t > until:
+                    self.now = until
+                    return until
+                if limit is not None and t > limit:
+                    raise SimulationError(
+                        f"process {stop.name!r} exceeded time limit {limit}"
+                    )
+                self.now = t
+                while heap and heap[0][0] == t:
+                    event = heappop(heap)[2]
+                    processed += 1
+                    proc = event._proc
+                    if proc is not None:
+                        event._proc = None
+                        cb1 = event._cb1
+                        event._cb1 = _PROCESSED
+                        self._active = proc
+                        gen = proc._gen
+                        try:
+                            target = gen.send(event._value)
+                        except StopIteration as stop_iter:
+                            if proc._value is PENDING:
+                                proc.succeed(stop_iter.value)
+                        else:
+                            if isinstance(target, Event):
+                                if (target._cb1 is None
+                                        and target._proc is None):
+                                    target._proc = proc
+                                else:
+                                    target.add_callback(proc._resume_cb)
+                            elif target is not _DEFER:
+                                gen.close()
+                                raise SimulationError(
+                                    f"process {proc.name!r} yielded "
+                                    f"{type(target).__name__}, expected "
+                                    "an Event"
+                                )
+                        if cb1 is not None:
+                            cb1(event)
+                            spill = event._spill
+                            if spill:
+                                event._spill = None
+                                for fn in spill:
+                                    fn(event)
+                        elif (type(event) is Timeout
+                              and refcount(event) == 2
+                              and len(pool) < pool_cap):
+                            event._value = PENDING
+                            event._cb1 = None
+                            pool_append(event)
+                    else:
+                        cb1 = event._cb1
+                        event._cb1 = _PROCESSED
+                        if cb1 is not None:
+                            cb1(event)
+                            spill = event._spill
+                            if spill:
+                                event._spill = None
+                                for fn in spill:
+                                    fn(event)
+                while fifo and fifo[0]._when == t:
+                    event = popleft()
+                    processed += 1
+                    proc = event._proc
+                    if proc is not None:
+                        event._proc = None
+                        cb1 = event._cb1
+                        event._cb1 = _PROCESSED
+                        self._active = proc
+                        gen = proc._gen
+                        try:
+                            target = gen.send(event._value)
+                        except StopIteration as stop_iter:
+                            if proc._value is PENDING:
+                                proc.succeed(stop_iter.value)
+                        else:
+                            if isinstance(target, Event):
+                                if (target._cb1 is None
+                                        and target._proc is None):
+                                    target._proc = proc
+                                else:
+                                    target.add_callback(proc._resume_cb)
+                            elif target is not _DEFER:
+                                gen.close()
+                                raise SimulationError(
+                                    f"process {proc.name!r} yielded "
+                                    f"{type(target).__name__}, expected "
+                                    "an Event"
+                                )
+                        if cb1 is not None:
+                            cb1(event)
+                            spill = event._spill
+                            if spill:
+                                event._spill = None
+                                for fn in spill:
+                                    fn(event)
+                        elif (type(event) is Timeout
+                              and refcount(event) == 2
+                              and len(pool) < pool_cap):
+                            event._value = PENDING
+                            event._cb1 = None
+                            pool_append(event)
+                    else:
+                        cb1 = event._cb1
+                        event._cb1 = _PROCESSED
+                        if cb1 is not None:
+                            cb1(event)
+                            spill = event._spill
+                            if spill:
+                                event._spill = None
+                                for fn in spill:
+                                    fn(event)
+                if stop is not None and stop._value is not PENDING:
+                    # A synchronous verb fast-forward may have advanced
+                    # the clock past this batch's timestamp before the
+                    # stop process succeeded; its completion event (and
+                    # nothing else - sync runs only on idle queues) is
+                    # then still pending at self.now.  The reference
+                    # path always consumes same-time completions before
+                    # returning, so drain up to the clock first.
+                    if ((fifo and fifo[0]._when <= self.now)
+                            or (heap and heap[0][0] <= self.now)):
+                        continue
+                    return self.now
+            if stop is not None and stop._value is PENDING:
                 raise SimulationError(
-                    f"deadlock: process {process.name!r} pending with an "
+                    f"deadlock: process {stop.name!r} pending with an "
                     "empty event heap"
                 )
-            if limit is not None and when > limit:
-                raise SimulationError(
-                    f"process {process.name!r} exceeded time limit {limit}"
-                )
-            self.run(until=when)
-        return process.value
+            return self.now
+        finally:
+            self.events_processed += processed
+            self._active = None
+            self._deadline = None
+
+    def _run_ref(self, until: Optional[int] = None) -> int:
+        """Reference dispatch loop: one event at a time, merged by
+        ``(time, seq)`` head-to-head - the ``REPRO_SIM_SLOW=1`` oracle."""
+        heap = self._heap
+        fifo = self._fifo
+        try:
+            while heap or fifo:
+                if fifo and not (heap
+                                 and (heap[0][0], heap[0][1])
+                                 < (fifo[0]._when, fifo[0]._seq)):
+                    event = fifo[0]
+                    when = event._when
+                    if until is not None and when > until:
+                        self.now = until
+                        return until
+                    fifo.popleft()
+                else:
+                    when, _seq, event = heap[0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return until
+                    heappop(heap)
+                self.now = when
+                self.events_processed += 1
+                proc = event._proc
+                cb1 = event._cb1
+                spill = event._spill
+                event._cb1 = _PROCESSED
+                if proc is not None:
+                    event._proc = None
+                    proc._resume_cb(event)
+                if cb1 is not None:
+                    cb1(event)
+                    if spill:
+                        event._spill = None
+                        for fn in spill:
+                            fn(event)
+            return self.now
+        finally:
+            self._active = None
