@@ -3,6 +3,7 @@
 from .art_dm import ArtDmClient, ArtDmConfig, ArtDmIndex
 from .bplus import BplusClient, BplusConfig, BplusIndex
 from .cache import NodeCache
+from .outback import OutbackClient, OutbackConfig, OutbackIndex
 from .smart import SmartClient, SmartConfig, SmartIndex
 
 __all__ = [
@@ -13,6 +14,9 @@ __all__ = [
     "BplusConfig",
     "BplusIndex",
     "NodeCache",
+    "OutbackClient",
+    "OutbackConfig",
+    "OutbackIndex",
     "SmartClient",
     "SmartConfig",
     "SmartIndex",

@@ -47,6 +47,7 @@ from .figures import (
     ablation_filter_cache,
     ablation_fingerprint_bits,
     ablation_hotness,
+    ablation_locator_budget,
     ablation_scan_batching,
     FIG4_WORKLOADS,
     fig4_ycsb,
@@ -56,9 +57,11 @@ from .figures import (
     render_fig4,
     render_fig5,
     render_fig6,
+    render_rtt_histograms,
+    rtt_histograms,
 )
 from .harness import DEFAULT_KEYS, DEFAULT_OPS, DEFAULT_PARALLEL, \
-    DEFAULT_WORKERS, SYSTEMS
+    DEFAULT_WORKERS, EXTRA_SYSTEMS, SYSTEMS
 from .perftrack import TRACKER, compare, load_report
 from .reporting import banner, format_table
 
@@ -122,7 +125,7 @@ def main(argv=None) -> int:
             parser.error(f"unknown workload {name!r}")
     systems = tuple(args.systems.split(",")) if args.systems else SYSTEMS
     for name in systems:
-        if name not in SYSTEMS + ("Sphinx-NoFilter",):
+        if name not in SYSTEMS + EXTRA_SYSTEMS:
             parser.error(f"unknown system {name!r}")
     chaos_seed = args.chaos_seed if args.chaos else None
     if args.chaos_crashes and not args.chaos:
@@ -182,10 +185,16 @@ def main(argv=None) -> int:
         print(_rows_table(ablation_distribution_skew(num_keys=args.keys,
                                                      ops=args.ops,
                                                      workers=args.workers)))
+        print(banner("Ablation - leaf-locator vs filter-cache budget "
+                     "crossover (YCSB-C)"))
+        print(_rows_table(ablation_locator_budget(num_keys=args.keys,
+                                                  ops=args.ops,
+                                                  workers=args.workers)))
     if args.profile and profiles:
         from ..obs import render_profile, write_chrome_trace
         print(banner("Profile - per-op round-trip/bytes/retry breakdown"))
         print(render_profile(profiles))
+        print(render_rtt_histograms(rtt_histograms(traces)))
         if args.trace_out:
             labels = list(traces)
             write_chrome_trace([traces[label] for label in labels],

@@ -18,6 +18,7 @@ from .harness import (
     DEFAULT_KEYS,
     DEFAULT_OPS,
     DEFAULT_WORKERS,
+    EXTRA_SYSTEMS,
     SYSTEMS,
     CellSpec,
     SystemSetup,
@@ -126,10 +127,10 @@ def fig4_ycsb(dataset_name: str, num_keys: int = DEFAULT_KEYS,
 
 
 def render_fig4(result: Fig4Result) -> str:
-    headers = ["workload"] + [f"{s} (Mops)" for s in SYSTEMS
-                              if any(r["system"] == s for r in result.rows)]
-    systems = [s for s in SYSTEMS
+    known = SYSTEMS + EXTRA_SYSTEMS
+    systems = [s for s in known
                if any(r["system"] == s for r in result.rows)]
+    headers = ["workload"] + [f"{s} (Mops)" for s in systems]
     workloads = [w for w in FIG4_WORKLOADS
                  if any(r["workload"] == w for r in result.rows)]
     rows = []
@@ -140,9 +141,10 @@ def render_fig4(result: Fig4Result) -> str:
         rows.append(row)
     out = [banner(f"Fig 4 - YCSB throughput, {result.dataset} dataset"),
            format_table(headers, rows)]
-    for workload_name in workloads:
-        out.append(f"Sphinx speedup on {workload_name}: "
-                   f"{result.speedups(workload_name)}")
+    if "Sphinx" in systems:
+        for workload_name in workloads:
+            out.append(f"Sphinx speedup on {workload_name}: "
+                       f"{result.speedups(workload_name)}")
     return "\n".join(out)
 
 
@@ -479,6 +481,137 @@ def ablation_depth_scaling(dataset_name: str = "u64",
                 "bytes_per_search": round(per_op["bytes_read"], 1),
             })
     return rows
+
+
+def ablation_locator_budget(dataset_name: str = "u64",
+                            num_keys: int = DEFAULT_KEYS,
+                            ops: int = DEFAULT_OPS,
+                            workers: int = DEFAULT_WORKERS,
+                            factors=(0.1, 0.5, 1, 4),
+                            probe_ops: int = 400) -> List[dict]:
+    """Leaf-locator vs filter-cache budget crossover (DESIGN.md §12).
+
+    Sphinx's filter cache spends its CN bytes on *inner prefixes* (about
+    1.6 B each) and always pays the INHT probe plus the leaf read; the
+    locator tier spends 16 B per *key* but answers a hit in one READ.
+    This family sweeps the same scaled CN budget across both designs:
+    small budgets favour the succinct filter (coverage per byte), large
+    ones the locator (round trips per hit) - the crossover is the
+    quantity the table renders.  An Outback row anchors the far end: its
+    MPH directory covers every key at ~12 B/key and is always 1 RTT.
+
+    Each row carries the timed YCSB-C throughput plus a warmed-client
+    round-trips-per-search probe (same technique as
+    :func:`ablation_depth_scaling`), so the crossover is visible in both
+    throughput and RTTs even when the simulated fabric is not the
+    bottleneck.
+    """
+    import random
+
+    from ..core import SphinxConfig, SphinxIndex
+    from ..dm import Cluster, ClusterConfig
+    from ..dm.rdma import OpStats
+    from ..obs import Counters
+    from ..ycsb import bulk_load
+
+    base = scaled_cache_bytes(num_keys)
+    rows = []
+
+    def _measure(label: str, index, cluster, dataset,
+                 budget: Optional[int]) -> None:
+        bulk_load(cluster, index, dataset)
+        setup = SystemSetup(label, cluster, index, dataset)
+        run = timed_run(setup, "C", workers=workers, ops=ops)
+        # Warmed single-client probe: count verbs over zipfian reads.
+        rng = random.Random(11)
+        client = setup.index.client(0)
+        executor = setup.cluster.direct_executor()
+        for _ in range(min(4_000, dataset.size)):
+            executor.run(client.search(
+                dataset.keys[rng.randrange(dataset.size)]))
+        stats = OpStats()
+        counted = setup.cluster.direct_executor(stats)
+        for _ in range(probe_ops):
+            counted.run(client.search(
+                dataset.keys[rng.randrange(dataset.size)]))
+        per_op = Counters.from_opstats(stats).per_op(probe_ops)
+        row = run.row()
+        row["system"] = label
+        if budget is None:
+            # Outback: CN spend is the (shared) MPH directory itself.
+            budget = index.dir_bytes()
+        row["cn_budget_bytes"] = budget
+        row["rts_per_search"] = round(per_op["round_trips"], 3)
+        rows.append(row)
+
+    for factor in factors:
+        budget = max(256, int(base * factor))
+        dataset = load_dataset(dataset_name, num_keys)
+        cluster = Cluster(ClusterConfig())
+        _measure(f"Sphinx x{factor}",
+                 SphinxIndex(cluster, SphinxConfig(
+                     filter_budget_bytes=budget)),
+                 cluster, dataset, budget)
+        dataset = load_dataset(dataset_name, num_keys)
+        cluster = Cluster(ClusterConfig())
+        _measure(f"Sphinx+Loc x{factor}",
+                 SphinxIndex(cluster, SphinxConfig(
+                     filter_budget_bytes=budget, use_locator=True,
+                     locator_budget_bytes=budget)),
+                 cluster, dataset, budget)
+    from ..baselines import OutbackIndex
+    dataset = load_dataset(dataset_name, num_keys)
+    cluster = Cluster(ClusterConfig())
+    _measure("Outback", OutbackIndex(cluster), cluster, dataset, None)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# RTT histograms (per-op round-trip distribution from profiled cells)
+# ---------------------------------------------------------------------------
+
+def rtt_histograms(traces: Dict[str, object]) -> Dict[str, Dict[str, Dict[int, int]]]:
+    """Round-trip histograms per op name, from profiled cells' tracers.
+
+    ``traces`` maps cell labels to finished :class:`repro.obs.Tracer`
+    objects (``Fig4Result.traces`` / ``Fig5Result.traces``).  Returns
+    ``{cell: {op: {round_trips: span_count}}}`` - the distribution the
+    locator work is judged by: a locator/directory hit is the spans in
+    the ``1`` bucket, fallbacks are the tail.
+    """
+    out: Dict[str, Dict[str, Dict[int, int]]] = {}
+    for label, tracer in traces.items():
+        per_op: Dict[str, Dict[int, int]] = {}
+        for span in getattr(tracer, "spans", ()):
+            if span.t_end < 0:
+                continue
+            hist = per_op.setdefault(span.name, {})
+            hist[span.round_trips] = hist.get(span.round_trips, 0) + 1
+        out[label] = per_op
+    return out
+
+
+def render_rtt_histograms(histograms: Dict[str, Dict[str, Dict[int, int]]],
+                          max_bucket: int = 8) -> str:
+    """Text table of the per-op RTT distribution for every profiled cell.
+
+    Buckets past ``max_bucket`` fold into a ``>N`` column so deep-retry
+    tails stay visible without unbounded width.
+    """
+    headers = ["cell", "op", "spans"] + \
+        [str(i) for i in range(max_bucket + 1)] + [f">{max_bucket}"]
+    rows = []
+    for label in sorted(histograms):
+        for op_name in sorted(histograms[label]):
+            hist = histograms[label][op_name]
+            total = sum(hist.values())
+            buckets = [0] * (max_bucket + 2)
+            for rtts, count in hist.items():
+                buckets[min(rtts, max_bucket + 1)] += count
+            rows.append([label, op_name, total] + buckets)
+    out = [banner("RTT histogram - round trips per op (profiled cells)"),
+           format_table(headers, rows)]
+    return "\n".join(out)
 
 
 def ablation_fingerprint_bits() -> List[dict]:

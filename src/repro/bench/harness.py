@@ -41,7 +41,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..baselines import ArtDmIndex, SmartConfig, SmartIndex
+from ..baselines import ArtDmIndex, OutbackIndex, SmartConfig, SmartIndex
 from ..core import SphinxConfig, SphinxIndex
 from ..dm import Cluster, ClusterConfig
 from ..dm.network import vector_enabled
@@ -82,6 +82,13 @@ DEFAULT_PARALLEL = _env_int("REPRO_BENCH_PARALLEL", 0, minimum=0)
 
 SYSTEMS = ("ART", "SMART", "SMART+C", "Sphinx")
 
+# Opt-in systems: valid in --systems / make_index but outside the default
+# grid, so BENCH_2 baselines keep comparing the paper's four systems.
+# "Sphinx+Loc" is Sphinx with the CN-side leaf-locator tier grafted on
+# (core.leaf_locator); "Outback" is the MPH-directory baseline
+# (baselines.outback); "Sphinx-NoFilter" is the filter-cache ablation.
+EXTRA_SYSTEMS = ("Sphinx-NoFilter", "Sphinx+Loc", "Outback")
+
 
 def scaled_cache_bytes(num_keys: int, factor: int = 1) -> int:
     """The paper's 20 MB budget scaled to our dataset size."""
@@ -105,7 +112,8 @@ class SystemSetup:
 
 def make_index(name: str, cluster: Cluster, num_keys: int,
                use_filter: bool = True):
-    """Instantiate one of the paper's four systems with scaled budgets."""
+    """Instantiate one of the paper's systems (or an EXTRA_SYSTEMS
+    variant) with paper-scaled CN budgets."""
     budget = scaled_cache_bytes(num_keys)
     if name == "ART":
         return ArtDmIndex(cluster)
@@ -120,6 +128,17 @@ def make_index(name: str, cluster: Cluster, num_keys: int,
     if name == "Sphinx-NoFilter":
         return SphinxIndex(cluster, SphinxConfig(
             filter_budget_bytes=budget, use_filter=False))
+    if name == "Sphinx+Loc":
+        # The locator tier rides on top of the normal filter cache and
+        # gets the same paper-scaled CN budget (its entries are 16 B, so
+        # at equal budget it covers a large slice of the hot key set).
+        return SphinxIndex(cluster, SphinxConfig(
+            filter_budget_bytes=budget, use_filter=use_filter,
+            use_locator=True, locator_budget_bytes=budget))
+    if name == "Outback":
+        # CN budget is implicit: the MPH directory covers every loaded
+        # key at ~12 B/key and rebuilds are seeded from the key set.
+        return OutbackIndex(cluster)
     raise ConfigError(f"unknown system {name!r}")
 
 

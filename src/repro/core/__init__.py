@@ -2,6 +2,7 @@
 
 from .inht import InhtClient, InnerNodeHashTable
 from .leaf import in_place_update, invalidate_leaf, read_leaf, write_new_leaf
+from .leaf_locator import LeafLocator, MinimalPerfectHash, build_directory
 from .lock import invalidate_op, try_lock_node, unlock_op
 from .remote_art import (
     INNER_CATEGORY,
@@ -18,6 +19,9 @@ __all__ = [
     "invalidate_leaf",
     "read_leaf",
     "write_new_leaf",
+    "LeafLocator",
+    "MinimalPerfectHash",
+    "build_directory",
     "invalidate_op",
     "try_lock_node",
     "unlock_op",

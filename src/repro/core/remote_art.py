@@ -219,6 +219,15 @@ class RemoteArtTree:
     def note_visited(self, addr: int, view: NodeView) -> None:
         """Called after every remote inner-node read (SMART cache fill)."""
 
+    def note_leaf(self, key: bytes, addr: int, units: int) -> None:
+        """Called whenever an op pinned down ``key``'s live leaf address
+        (positive search, installed/updated/split-off leaf).  Sphinx's
+        optional leaf locator feeds on this; the default is a no-op.
+        Plain method, never a generator: noting a leaf costs no verbs."""
+
+    def forget_leaf(self, key: bytes) -> None:
+        """Called once ``key``'s leaf is deleted (Sphinx locator drop)."""
+
     def invalidate_hint(self, addr: int) -> None:
         """Called when a node is discovered Invalid (SMART cache drop)."""
 
@@ -396,6 +405,7 @@ class RemoteArtTree:
                 if leaf.status == STATUS_INVALID:
                     return RETRY  # mid-delete; retry until slot clears
                 if leaf.key == key:
+                    self.note_leaf(key, slot.addr, slot.size_class)
                     return leaf.value
                 if not trusted:
                     cur = yield from self._refresh_node(cur_addr, cur)
@@ -548,6 +558,7 @@ class RemoteArtTree:
                 CasOp(self._slot_addr(node_addr, key[depth]), 0, slot_word),
             ])
             if cas[0]:
+                self.note_leaf(key, leaf_addr, units)
                 return True
             self._free_leaf(leaf_addr, units)
             return RETRY
@@ -568,6 +579,7 @@ class RemoteArtTree:
             if outcome is RETRY:
                 self._free_leaf(leaf_addr, units)
                 return RETRY
+            self.note_leaf(key, leaf_addr, units)
             return True
         idle = Header(STATUS_IDLE, header.node_type, header.depth,
                       header.prefix_hash, count)
@@ -589,6 +601,7 @@ class RemoteArtTree:
             WriteOp(node_addr, u64_to_bytes(unlocked.pack()),
                     lease=("release",)),
         ])
+        self.note_leaf(key, leaf_addr, units)
         return True
 
     def _install_into_full(self, node_addr: int, view: NodeView,
@@ -659,6 +672,7 @@ class RemoteArtTree:
         self.invalidate_hint(slot.addr)
         self._retire_inner(slot.addr, slot.size_class)
         self.metrics.empty_replacements += 1
+        self.note_leaf(key, leaf_addr, units)
         return True
 
     def _update_leaf(self, node_addr: int, view: NodeView, slot: Slot,
@@ -675,6 +689,7 @@ class RemoteArtTree:
                 ok = yield from leaf_ops.in_place_update(slot.addr, leaf,
                                                          value)
                 if ok:
+                    self.note_leaf(leaf.key, slot.addr, leaf.units)
                     return True
                 yield LocalCompute(self._backoff_delay(attempt))
                 leaf = yield from leaf_ops.read_leaf(slot.addr,
@@ -716,6 +731,7 @@ class RemoteArtTree:
         yield WriteOp(slot.addr, invalid.to_bytes(8, "little"),
                       lease=("release",))
         self._free_leaf(slot.addr, leaf.units)
+        self.note_leaf(leaf.key, new_addr, units)
         return True
 
     def _split_at_slot(self, node_addr: int, view: NodeView, slot: Slot,
@@ -757,6 +773,7 @@ class RemoteArtTree:
             yield from coupling.commit()
         else:
             yield from self.after_new_inner(prefix, inner_addr, node_type)
+        self.note_leaf(key, leaf_addr, units)
         return True
 
     def _replace_slot(self, node_addr: int, view: NodeView, old_slot: Slot,
@@ -1045,6 +1062,7 @@ class RemoteArtTree:
                     cleared = yield from self._replace_slot(
                         cur_addr, cur, slot, 0)
                     if cleared:
+                        self.forget_leaf(key)
                         self._free_leaf(victim_addr, victim_units)
                         return True
                     found = yield from self._chase_leaf_slot(key,
@@ -1055,6 +1073,7 @@ class RemoteArtTree:
                     if found is None:
                         # The key's path no longer reaches the victim:
                         # it is unlinked and safe to reclaim.
+                        self.forget_leaf(key)
                         self._free_leaf(victim_addr, victim_units)
                         return True
                     cur_addr, cur, slot = found

@@ -16,6 +16,16 @@ An index operation runs in three round trips in the common case:
 client reads the hash entries of *all* Theta(L) prefixes in one doorbell
 batch instead of consulting the filter - same round trips, much more NIC
 load.  This is the ablation Fig 4's analysis rests on.
+
+``use_locator=True`` additionally grafts in an Outback-style leaf
+locator (:mod:`repro.core.leaf_locator`): a CN cache mapping full keys
+straight to their MN leaf address, probed before the filter/INHT ladder.
+A locator hit turns a point read into a *single* round trip - one leaf
+READ verified by the leaf's own fence (checksum + status + stored key);
+any mismatch (stale entry after an out-of-place move, tag collision,
+torn read) falls back to the regular path, so the locator can only ever
+cost a wasted round trip, never a wrong answer.  The default is off, and
+off is the exact pre-locator hot path.
 """
 
 from __future__ import annotations
@@ -23,7 +33,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from ..art.layout import NODE256, STATUS_INVALID, decode_node, node_size
+from ..art.layout import (
+    LEAF_ALIGN,
+    NODE256,
+    STATUS_INVALID,
+    decode_leaf,
+    decode_node,
+    node_size,
+)
 from ..dm.cluster import Cluster
 from ..dm.rdma import Batch, LocalCompute, ReadOp
 from ..errors import (
@@ -37,6 +54,7 @@ from ..filters.hotness import SuccinctFilterCache
 from ..race.layout import TableParams
 from ..util.hashing import prefix_hash42
 from .inht import InhtClient, InnerNodeHashTable
+from .leaf_locator import LeafLocator
 from .remote_art import RETRY, OpContext, RemoteArtTree
 
 
@@ -67,6 +85,22 @@ class SphinxConfig:
 
     filter_probe_ns: int = 0
     """Optional CN CPU cost charged per local filter probe sweep."""
+
+    use_locator: bool = False
+    """Graft in the Outback-style leaf-locator tier: point reads probe a
+    CN key->leaf-address cache first and finish in one round trip on a
+    hit.  Off (the default) is bit-identical to the pre-locator client -
+    no extra state, verbs, or RNG draws."""
+
+    locator_budget_bytes: int = 1 << 16
+    """CN-side budget of the leaf locator (16 B per entry)."""
+
+    locator_ways: int = 4
+    """Set associativity of the locator cache."""
+
+    locator_seed: int = 0x10CA
+    """Tag-hash seed (one seed, shared by every client: hash64 memoizes
+    per seed, so distinct per-client seeds would defeat the memo)."""
 
     def table_params(self) -> TableParams:
         return TableParams(seed=self.table_seed,
@@ -164,6 +198,13 @@ class SphinxClient(RemoteArtTree):
         self.inht_fallbacks = 0
         """Searches that degraded to root traversal because the INHT was
         unreachable (e.g. a bucket stuck behind an abandoned lock)."""
+        self.locator = LeafLocator(
+            config.locator_budget_bytes, ways=config.locator_ways,
+            seed=config.locator_seed) if config.use_locator else None
+        self.locator_fallbacks = 0
+        """Locator-guided leaf reads rejected by the fence check (stale
+        address, tag collision, torn read, fault) and retried via the
+        regular filter/INHT ladder."""
 
     # ------------------------------------------------------------------
     # Hook implementations
@@ -194,6 +235,57 @@ class SphinxClient(RemoteArtTree):
 
     def make_split_coupling(self, prefix: bytes, addr: int, node_type: int):
         return _InhtSplitCoupling(self, prefix, addr, node_type)
+
+    def note_leaf(self, key: bytes, addr: int, units: int) -> None:
+        if self.locator is not None:
+            self.locator.put(key, addr, units)
+
+    def forget_leaf(self, key: bytes) -> None:
+        if self.locator is not None:
+            self.locator.drop(key)
+
+    # ------------------------------------------------------------------
+    # The leaf-locator fast path (1 round trip on a hit)
+    # ------------------------------------------------------------------
+    def search(self, key: bytes):
+        """Op generator: value for ``key`` or None.
+
+        With the locator enabled a hit resolves in one leaf READ; every
+        rung of the fallback ladder (miss -> mismatch -> fault) lands on
+        the regular filter/INHT search, so results are identical to the
+        locator-disabled client - the locator only changes round trips.
+        """
+        if self.locator is None:
+            result = yield from super().search(key)
+            return result
+        self.metrics.searches += 1
+        hit = self.locator.get(key)
+        if hit is not None:
+            addr, units = hit
+            try:
+                data = yield ReadOp(addr, units * LEAF_ALIGN)
+            except (RetryLimitExceeded, InjectedFault, MNUnavailable):
+                # Fabric fault or crashed MN on the hinted read: the
+                # regular path (with its own retry budget) decides.
+                self.locator_fallbacks += 1
+            else:
+                leaf = decode_leaf(data)
+                if leaf.checksum_ok and leaf.status != STATUS_INVALID \
+                        and leaf.key == key:
+                    # Fence check passed: this is key's live leaf.  A
+                    # Locked-but-consistent image is trustworthy, same
+                    # as the descent path's read_leaf semantics.
+                    return leaf.value
+                if leaf.checksum_ok:
+                    # Provably not key's leaf (moved, deleted, or a tag
+                    # collision): the hint is garbage, drop it.  A torn
+                    # read, by contrast, keeps the entry - the address
+                    # is fine, the image just raced an in-place writer.
+                    self.locator.drop(key)
+                self.locator_fallbacks += 1
+        result = yield from self._run(self._search_once,
+                                      OpContext(key, len(key) - 1), "search")
+        return result
 
     # ------------------------------------------------------------------
     # Locate via the succinct filter cache (common case: 2 round trips
@@ -324,14 +416,20 @@ class SphinxClient(RemoteArtTree):
     # Introspection
     # ------------------------------------------------------------------
     def cn_cache_bytes(self) -> int:
-        """Total CN-side cache memory: filter + directory caches."""
-        return self.filter.size_bytes() + self.inht.directory_cache_bytes()
+        """Total CN-side cache memory: filter + directory + locator."""
+        total = self.filter.size_bytes() + self.inht.directory_cache_bytes()
+        if self.locator is not None:
+            total += self.locator.size_bytes()
+        return total
 
     def cache_stats(self) -> dict:
         stats = self.filter.stats()
         stats["directory_cache_bytes"] = self.inht.directory_cache_bytes()
         stats["inht_splits"] = self.inht.splits()
         stats["multi_candidate_lookups"] = self.multi_candidate_lookups
+        if self.locator is not None:
+            stats.update(self.locator.stats())
+            stats["locator_fallbacks"] = self.locator_fallbacks
         return stats
 
     def counters(self):
@@ -346,4 +444,12 @@ class SphinxClient(RemoteArtTree):
             "inht_fallbacks": self.inht_fallbacks,
             "multi_candidate_lookups": self.multi_candidate_lookups,
         })
+        if self.locator is not None:
+            # Keys appear only with the locator enabled so disabled
+            # clients report the exact pre-locator counter shape.
+            counters.merge({
+                "locator_hits": self.locator.hits,
+                "locator_misses": self.locator.misses,
+                "locator_fallbacks": self.locator_fallbacks,
+            })
         return counters

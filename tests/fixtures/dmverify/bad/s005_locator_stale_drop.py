@@ -1,0 +1,10 @@
+"""S005 on the locator path: the directory-slot invalidation WRITE is
+built but never yielded, so a stale leaf ref survives the drop."""
+
+
+def drop_stale_ref(slot_addr, leaf_addr):
+    # BUG: missing `yield` - the zeroing write silently never happens,
+    # and the next locator hit re-reads the moved leaf.
+    WriteOp(slot_addr, b"\x00" * 16)
+    check = yield ReadOp(leaf_addr, 64)
+    return check

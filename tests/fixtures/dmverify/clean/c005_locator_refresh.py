@@ -1,0 +1,13 @@
+"""Near-miss for S005: locator refresh collects slot patches into a
+list that IS yielded - one doorbell batch publishes every stale slot."""
+
+
+def refresh_slots(dir_addr, entries, stale):
+    writes = []
+    for i, entry in enumerate(entries):
+        if i in stale:
+            writes.append(WriteOp(dir_addr + 16 * i, entry))
+    if not writes:
+        return 0
+    acks = yield Batch(writes)
+    return len(acks)

@@ -47,7 +47,11 @@ OPS = 80
 VERB_BUDGET = 500_000        # extra messages allowed per run (livelock)
 TIME_LIMIT_NS = 60_000_000_000  # simulated ns per run (deadlock)
 
+# "Sphinx+Loc" is Sphinx with the leaf-locator tier on: a stale locator
+# entry (leaf moved/invalidated under it by a faulted op) must fall back
+# to the INHT path, never answer wrong - the same oracle checks apply.
 TREE_SEEDS = [("Sphinx", s) for s in range(N_SEEDS)] + \
+             [("Sphinx+Loc", s) for s in range(N_SEEDS)] + \
              [("SMART", s) for s in range(N_SEEDS)]
 
 
@@ -57,8 +61,10 @@ def _keys():
 
 def _build_tree(system, retry=None):
     cluster = Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
-    if system == "Sphinx":
+    if system in ("Sphinx", "Sphinx+Loc"):
         config = SphinxConfig(filter_budget_bytes=1 << 14,
+                              use_locator=(system == "Sphinx+Loc"),
+                              locator_budget_bytes=1 << 12,
                               **({"retry": retry} if retry else {}))
         index = SphinxIndex(cluster, config)
     else:

@@ -39,14 +39,18 @@ from repro.race import (
     key_hash,
 )
 
-N_SEEDS = 50                    # per tree system (Sphinx + SMART = 100)
+N_SEEDS = 50         # per tree system (Sphinx + Sphinx+Loc + SMART = 150)
 RACE_SEEDS = 20
 MN_SEEDS = 15
 NUM_KEYS = 40
 OPS = 4000   # generous cap: churn stops at the scheduled crash long before
 TIME_LIMIT_NS = 60_000_000_000
 
+# "Sphinx+Loc" runs the leaf-locator tier through the same oracle: a
+# directory entry left stale by the crash (leaf moved mid-op) must fall
+# back to the INHT, so post-recovery answers stay inside the oracle.
 TREE_SEEDS = [("Sphinx", s) for s in range(N_SEEDS)] + \
+             [("Sphinx+Loc", s) for s in range(N_SEEDS)] + \
              [("SMART", s) for s in range(N_SEEDS)]
 
 
@@ -56,9 +60,11 @@ def _keys():
 
 def _build_tree(system):
     cluster = Cluster(ClusterConfig(mn_capacity_bytes=64 << 20))
-    if system == "Sphinx":
-        index = SphinxIndex(cluster,
-                            SphinxConfig(filter_budget_bytes=1 << 14))
+    if system in ("Sphinx", "Sphinx+Loc"):
+        index = SphinxIndex(cluster, SphinxConfig(
+            filter_budget_bytes=1 << 14,
+            use_locator=(system == "Sphinx+Loc"),
+            locator_budget_bytes=1 << 12))
     else:
         index = SmartIndex(cluster, SmartConfig(cache_budget_bytes=1 << 16))
     client = index.client(0)

@@ -32,6 +32,13 @@ CRASH = CellSpec(system="Sphinx", dataset="u64", workload="A",
                  chaos_seed=9, chaos_crashes=True, **TINY)
 TRACED = CellSpec(system="Sphinx", dataset="u64", workload="A",
                   profile=True, **TINY)
+# Locator-family cells (ISSUE 8): the leaf-locator fast path and the
+# Outback MPH baseline issue their own verb shapes (single raw leaf
+# READ), so they get their own fast/slow/vector0 identity coverage.
+LOC_CLEAN = CellSpec(system="Sphinx+Loc", dataset="u64", workload="A",
+                     **TINY)
+OUTBACK_CLEAN = CellSpec(system="Outback", dataset="u64", workload="A",
+                         **TINY)
 
 
 @pytest.fixture(autouse=True)
@@ -78,11 +85,27 @@ def test_traced_cell_fast_matches_slow(monkeypatch):
     assert _cell_digest(TRACED) == _slow_digest(TRACED, monkeypatch)
 
 
+def test_locator_cell_fast_matches_slow(monkeypatch):
+    assert _cell_digest(LOC_CLEAN) == _slow_digest(LOC_CLEAN, monkeypatch)
+
+
+def test_outback_cell_fast_matches_slow(monkeypatch):
+    assert _cell_digest(OUTBACK_CLEAN) == _slow_digest(OUTBACK_CLEAN,
+                                                       monkeypatch)
+
+
 def test_vector_disabled_cell_matches(monkeypatch):
     fast = _cell_digest(CLEAN)
     monkeypatch.setenv("REPRO_SIM_VECTOR", "0")
     clear_setup_caches()
     assert _cell_digest(CLEAN) == fast
+
+
+def test_locator_cell_vector_disabled_matches(monkeypatch):
+    fast = _cell_digest(LOC_CLEAN)
+    monkeypatch.setenv("REPRO_SIM_VECTOR", "0")
+    clear_setup_caches()
+    assert _cell_digest(LOC_CLEAN) == fast
 
 
 def test_numpy_absent_cell_matches(monkeypatch):
