@@ -6,7 +6,14 @@ Usage::
     python -m repro.bench.cli fig5 --dataset email
     python -m repro.bench.cli fig6
     python -m repro.bench.cli ablations
+    python -m repro.bench.cli rack --tenants 16 --clients 64
     python -m repro.bench.cli all
+
+The ``rack`` family (not part of ``all``: it has its own BENCH_RACK
+baseline) runs the multi-tenant serving grid - sharded MN groups, a
+weighted-fair tenant roster, and an online MN join/leave rebalance cell
+that must end fsck-clean (a dirty fsck exits nonzero).  ``--rows-out``
+writes its deterministic digest for bit-identity checks.
 
 Scale knobs: ``--keys`` (dataset size), ``--ops`` (timed operations per
 run), ``--workers``; environment variables REPRO_BENCH_KEYS /
@@ -38,6 +45,7 @@ tracing never changes simulated results - see DESIGN.md §8.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .figures import (
@@ -63,6 +71,7 @@ from .figures import (
 from .harness import DEFAULT_KEYS, DEFAULT_OPS, DEFAULT_PARALLEL, \
     DEFAULT_WORKERS, EXTRA_SYSTEMS, SYSTEMS
 from .perftrack import TRACKER, compare, load_report
+from .rackfig import rack_family, render_rack
 from .reporting import banner, format_table
 
 
@@ -78,7 +87,7 @@ def main(argv=None) -> int:
         prog="repro.bench", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("figure", choices=["fig4", "fig5", "fig6",
-                                           "ablations", "all"])
+                                           "ablations", "rack", "all"])
     parser.add_argument("--dataset", choices=["u64", "email", "both"],
                         default="both")
     parser.add_argument("--keys", type=int, default=DEFAULT_KEYS)
@@ -116,6 +125,29 @@ def main(argv=None) -> int:
     parser.add_argument("--systems", metavar="LIST",
                         help="comma-separated system subset "
                              "(e.g. Sphinx,ART; default all four)")
+    rack_group = parser.add_argument_group(
+        "rack", "multi-tenant serving-grid family (figure 'rack'; "
+                "BENCH_RACK baseline; not part of 'all')")
+    rack_group.add_argument("--rack-cns", type=int, default=8,
+                            help="compute nodes (default 8)")
+    rack_group.add_argument("--rack-mns", type=int, default=8,
+                            help="memory nodes (default 8)")
+    rack_group.add_argument("--rack-group-size", type=int, default=2,
+                            help="MNs per index group (default 2)")
+    rack_group.add_argument("--rack-shards", type=int, default=64,
+                            help="key-space shards (default 64)")
+    rack_group.add_argument("--clients", type=int, default=64,
+                            help="closed-loop client generators (default 64)")
+    rack_group.add_argument("--tenants", type=int, default=16,
+                            help="tenant roster size (default 16)")
+    rack_group.add_argument("--rack-seed", type=int, default=0,
+                            help="workload seed of the rack cells")
+    rack_group.add_argument("--no-rebalance", action="store_true",
+                            help="skip the online MN join/leave cell")
+    rack_group.add_argument("--rows-out", metavar="PATH",
+                            help="write the rack digest JSON (aggregate + "
+                                 "per-tenant rows + topology log + fsck); "
+                                 "byte-identical across same-seed runs")
     args = parser.parse_args(argv)
     datasets = ["u64", "email"] if args.dataset == "both" else [args.dataset]
     workloads = tuple(args.workloads.split(",")) if args.workloads \
@@ -162,6 +194,26 @@ def main(argv=None) -> int:
             for label, prof in fig5.profiles.items():
                 profiles[f"{dataset}:{label}"] = prof
                 traces[f"{dataset}:{label}"] = fig5.traces[label]
+    rack_fsck_failed = False
+    if args.figure == "rack":
+        figure = rack_family(num_cns=args.rack_cns, num_mns=args.rack_mns,
+                             group_size=args.rack_group_size,
+                             num_shards=args.rack_shards,
+                             clients=args.clients, tenants=args.tenants,
+                             num_keys=args.keys, ops=args.ops,
+                             seed=args.rack_seed,
+                             rebalance=not args.no_rebalance,
+                             chaos_seed=chaos_seed)
+        print(render_rack(figure))
+        if args.rows_out:
+            with open(args.rows_out, "w") as fh:
+                json.dump(figure.digest(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.rows_out}: rack digest "
+                  f"({len(figure.rows)} cells)")
+        if not figure.fsck_clean:
+            print(f"RACK FSCK FAILED: exits {figure.fsck_exits}")
+            rack_fsck_failed = True
     if args.figure in ("fig6", "all"):
         print(render_fig6(fig6_memory(num_keys=args.keys)))
     if args.figure in ("ablations", "all"):
@@ -222,6 +274,8 @@ def main(argv=None) -> int:
         if failed:
             print("PERF REGRESSION: total wall time over threshold")
             return 1
+    if rack_fsck_failed:
+        return 1
     return 0
 
 

@@ -1,0 +1,145 @@
+"""The ``rack`` figure family: multi-tenant serving-grid cells.
+
+Beyond the paper's figures (one index, one workload, 3+3 nodes), this
+family reports what a rack-scale deployment cares about - per-tenant
+goodput and tail latency under weighted sharing and admission control,
+and whether the grid survives elastic membership changes:
+
+* ``steady``  - the sharded grid serving the full tenant roster;
+* ``rebalance`` - the same grid with one online MN-group join *and* one
+  group drain/leave mid-run; the cell must end fsck-clean.
+
+Each cell contributes a BENCH_RACK perf record (same BENCH_2 schema, its
+own baseline file) through the shared :data:`repro.bench.perftrack.
+TRACKER`, so the rack-smoke CI job gates host-side wall time with the
+exact machinery the other benchmark suites use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dm.rack import ClusterSpec, TopologyEvent
+from ..tenancy import RackRunResult, default_tenants, run_rack
+from .harness import DEFAULT_KEYS, DEFAULT_OPS
+from .perftrack import TRACKER
+from .reporting import banner, format_table
+
+#: Simulated times of the rebalance cell's membership events: the join
+#: lands early so migrations overlap plenty of traffic, the drain starts
+#: once the joined group is (typically) settled.
+REBALANCE_JOIN_NS = 100_000
+REBALANCE_LEAVE_NS = 400_000
+
+
+@dataclass
+class RackFigure:
+    """All cells of one rack-family invocation."""
+
+    rows: List[dict] = field(default_factory=list)
+    tenant_rows: Dict[str, List[dict]] = field(default_factory=dict)
+    topology: Dict[str, List[dict]] = field(default_factory=dict)
+    fsck_exits: Dict[str, int] = field(default_factory=dict)
+    results: Dict[str, RackRunResult] = field(default_factory=dict)
+
+    @property
+    def fsck_clean(self) -> bool:
+        return all(code == 0 for code in self.fsck_exits.values())
+
+    def digest(self) -> dict:
+        """JSON-serializable flattening (the CI determinism cell diffs
+        two same-seed digests byte-for-byte)."""
+        return {
+            "rows": self.rows,
+            "tenants": self.tenant_rows,
+            "topology": self.topology,
+            "fsck_exits": self.fsck_exits,
+        }
+
+
+def _run_cell(label: str, system: str, spec: ClusterSpec, figure: RackFigure,
+              *, tenants, num_keys: int, ops: int, seed: int,
+              events=(), chaos_seed: Optional[int] = None) -> None:
+    wall_start = time.perf_counter()
+    rr = run_rack(spec, tenants=tenants, num_keys=num_keys,
+                  insert_pool=max(64, num_keys // 10), ops=ops, seed=seed,
+                  events=events, chaos_seed=chaos_seed)
+    wall_s = time.perf_counter() - wall_start
+    events_processed = rr.rack.cluster.engine.events_processed
+    result = rr.result
+    result.system = system
+    result.perf = {
+        "wall_s": round(wall_s, 3),
+        "run_wall_s": round(wall_s, 3),
+        "events": events_processed,
+        "events_per_s": round(events_processed / wall_s) if wall_s else 0,
+        "engine_mode": "rack",
+        "sim_ns": result.sim_ns,
+        "throughput_mops": round(result.throughput_mops, 4),
+    }
+    TRACKER.add(result)
+    row = result.row()
+    row["cell"] = label
+    row["tenants"] = len(rr.tenants)
+    row["groups"] = len(rr.rack.live_groups())
+    row["fsck_exit"] = rr.fsck_exit
+    figure.rows.append(row)
+    figure.tenant_rows[label] = rr.tenants
+    figure.topology[label] = rr.topology
+    figure.fsck_exits[label] = rr.fsck_exit
+    figure.results[label] = rr
+
+
+def rack_family(*, num_cns: int = 8, num_mns: int = 8, group_size: int = 2,
+                num_shards: int = 64, clients: int = 64, tenants: int = 16,
+                num_keys: int = DEFAULT_KEYS, ops: int = DEFAULT_OPS,
+                seed: int = 0, rebalance: bool = True,
+                chaos_seed: Optional[int] = None,
+                mn_capacity_bytes: int = 256 << 20) -> RackFigure:
+    """Run the rack cell family and return every cell's outputs.
+
+    ``tenants`` picks the deterministic :func:`repro.tenancy.
+    default_tenants` roster of that size; ``rebalance=False`` drops the
+    membership-change cell (the steady cell always runs).
+    """
+    spec = ClusterSpec(num_cns=num_cns, num_mns=num_mns,
+                       group_size=group_size, num_shards=num_shards,
+                       clients=clients, mn_capacity_bytes=mn_capacity_bytes)
+    roster = default_tenants(tenants)
+    figure = RackFigure()
+    _run_cell("steady", "Rack", spec, figure, tenants=roster,
+              num_keys=num_keys, ops=ops, seed=seed, chaos_seed=chaos_seed)
+    if rebalance:
+        events = (TopologyEvent(at_ns=REBALANCE_JOIN_NS, kind="mn_join"),
+                  TopologyEvent(at_ns=REBALANCE_LEAVE_NS, kind="mn_leave",
+                                group=0))
+        _run_cell("rebalance", "Rack+Rebal", spec, figure, tenants=roster,
+                  num_keys=num_keys, ops=ops, seed=seed, events=events,
+                  chaos_seed=chaos_seed)
+    return figure
+
+
+def render_rack(figure: RackFigure) -> str:
+    """The rack family's tables: aggregate cells, then per-tenant rows."""
+    out = [banner("Rack - multi-tenant serving grid")]
+    headers = ["cell", "workers", "tenants", "groups", "ops",
+               "throughput_mops", "p99_latency_us", "fsck_exit"]
+    out.append(format_table(
+        headers, [[row[h] for h in headers] for row in figure.rows]))
+    for label, rows in figure.tenant_rows.items():
+        if not rows:
+            continue
+        out.append(banner(f"Rack cell '{label}' - per-tenant goodput/p99"))
+        headers = list(rows[0].keys())
+        out.append(format_table(
+            headers, [[row[h] for h in headers] for row in rows]))
+    for label, events in figure.topology.items():
+        if not events:
+            continue
+        out.append(banner(f"Rack cell '{label}' - topology events"))
+        headers = list(events[0].keys())
+        out.append(format_table(
+            headers, [[event[h] for h in headers] for event in events]))
+    return "\n".join(out)

@@ -10,7 +10,15 @@ from .memory import (
     make_addr,
 )
 from .network import NetworkConfig, Nic
-from .placement import NodePlacement
+from .placement import NodePlacement, ShardMap
+from .rack import (
+    ClusterSpec,
+    GroupCluster,
+    Migration,
+    Rack,
+    RackClient,
+    TopologyEvent,
+)
 from .rdma import (
     Batch,
     CasOp,
@@ -36,6 +44,13 @@ __all__ = [
     "NetworkConfig",
     "Nic",
     "NodePlacement",
+    "ShardMap",
+    "ClusterSpec",
+    "GroupCluster",
+    "Migration",
+    "Rack",
+    "RackClient",
+    "TopologyEvent",
     "Batch",
     "CasOp",
     "DirectExecutor",

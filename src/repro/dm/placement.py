@@ -6,13 +6,21 @@ a node's **full prefix**, so the hash entry for a prefix and the node it
 points at can live on different MNs - exactly as in the paper, where the
 client first visits the MN owning the hash entry and then the MN owning
 the node.
+
+Rack-scale clusters add a second tier above this: :class:`ShardMap`
+splits the key space into a fixed number of hash shards and assigns each
+shard to one **MN group** (a small set of MNs hosting one index cell)
+through the same consistent-hashing machinery, so that adding or removing
+a group moves only the shards that land on it - the minimal-movement
+property online rebalancing relies on.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
-from ..util.hashing import ConsistentHashRing
+from ..errors import ConfigError, InvalidArgument
+from ..util.hashing import ConsistentHashRing, hash64
 
 
 class NodePlacement:
@@ -37,3 +45,87 @@ class NodePlacement:
         concentrate leaf traffic on one MN.
         """
         return self._ring.lookup(b"leaf:" + key)
+
+
+class ShardMap:
+    """Key-space sharding across MN groups.
+
+    The key space is cut into ``num_shards`` hash shards; each shard is
+    assigned to one group by a consistent-hash ring over the live group
+    ids.  The materialized ``assignment`` list - not the ring - is the
+    source of truth for routing: membership changes (:meth:`commit_join`
+    / :meth:`commit_leave`) only update the ring, and the rebalancer
+    flips ``assignment[shard]`` one shard at a time as each migration
+    completes, so routing never jumps ahead of the data.
+    """
+
+    def __init__(self, num_shards: int, groups: Sequence[int], *,
+                 seed: int = 23, vnodes: int = 32):
+        if num_shards < 1:
+            raise InvalidArgument("need at least one shard")
+        if not groups:
+            raise InvalidArgument("need at least one group")
+        self.num_shards = num_shards
+        self._seed = seed
+        self._vnodes = vnodes
+        self._groups: List[int] = sorted(groups)
+        ring = self._ring()
+        self.assignment: List[int] = [ring.lookup(self._token(s))
+                                      for s in range(num_shards)]
+
+    @staticmethod
+    def _token(shard: int) -> bytes:
+        return b"shard:%d" % shard
+
+    def _ring(self, groups: Sequence[int] | None = None) -> ConsistentHashRing:
+        return ConsistentHashRing(self._groups if groups is None
+                                  else sorted(groups),
+                                  vnodes=self._vnodes, seed=self._seed)
+
+    @property
+    def groups(self) -> List[int]:
+        return list(self._groups)
+
+    def shard_for_key(self, key: bytes) -> int:
+        return hash64(key, self._seed ^ 0x5A4D) % self.num_shards
+
+    def group_for_key(self, key: bytes) -> int:
+        return self.assignment[self.shard_for_key(key)]
+
+    def shards_of(self, group: int) -> List[int]:
+        return [s for s, g in enumerate(self.assignment) if g == group]
+
+    # -- rebalancing plans -------------------------------------------------
+    def plan_join(self, new_group: int) -> List[Tuple[int, int, int]]:
+        """Moves ``[(shard, src, dst), ...]`` a joining group triggers.
+
+        Consistent hashing guarantees only shards the *new* ring assigns
+        to ``new_group`` move; every other shard keeps its owner.
+        """
+        if new_group in self._groups:
+            raise ConfigError(f"group {new_group} already a member")
+        ring = self._ring(self._groups + [new_group])
+        return [(s, self.assignment[s], new_group)
+                for s in range(self.num_shards)
+                if ring.lookup(self._token(s)) == new_group
+                and self.assignment[s] != new_group]
+
+    def plan_leave(self, group: int) -> List[Tuple[int, int, int]]:
+        """Moves that drain ``group`` before it leaves: its shards go to
+        the owners the shrunk ring picks; nothing else moves."""
+        if group not in self._groups:
+            raise ConfigError(f"group {group} not a member")
+        remaining = [g for g in self._groups if g != group]
+        if not remaining:
+            raise ConfigError("cannot drain the last group")
+        ring = self._ring(remaining)
+        return [(s, group, ring.lookup(self._token(s)))
+                for s in range(self.num_shards)
+                if self.assignment[s] == group]
+
+    # -- membership commits ------------------------------------------------
+    def commit_join(self, group: int) -> None:
+        self._groups = sorted(self._groups + [group])
+
+    def commit_leave(self, group: int) -> None:
+        self._groups = [g for g in self._groups if g != group]

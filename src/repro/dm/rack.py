@@ -1,0 +1,344 @@
+"""Rack-scale topology: MN groups, key-space shards, elastic membership.
+
+The paper's testbed is three machines; :class:`Rack` scales the simulated
+cluster an order of magnitude by composing one big :class:`Cluster` (all
+the CNs, MNs and NICs share a single engine, so the whole rack is still
+one deterministic simulation) out of **MN groups**: each group of
+``group_size`` memory nodes hosts one index cell whose node placement is
+confined to the group, and a :class:`~repro.dm.placement.ShardMap`
+assigns every key-space shard to exactly one group.
+
+Routing is a thin client tier: :class:`RackClient` mirrors the per-CN
+index-client API (``search``/``insert``/``update``/``delete``/
+``scan_count`` op generators), hashes the key to its shard, and delegates
+to the owning group's real index client.  During an online migration the
+router consults the shard's ``copied`` set, so a key is served by the
+source cell until the very completion of its copy and by the destination
+cell afterwards - reads never block on a rebalance.
+
+Elasticity: :meth:`Rack.add_group` provisions ``group_size`` fresh MNs
+(memory + NIC) on the live cluster and builds an empty index cell for
+them; draining and shard migration are the
+:class:`repro.recover.Rebalancer`'s job (it reuses the recovery/fsck
+primitives).  ``scan_count`` on a rack is a *per-shard* scan: hash
+sharding does not preserve global key order, the same honest limitation
+real hash-sharded stores have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..errors import ConfigError
+from ..obs.counters import Counters, client_counters
+from .cluster import Cluster, ClusterConfig
+from .network import NetworkConfig, Nic
+from .memory import Memory
+from .placement import NodePlacement, ShardMap
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of a rack-scale, group-sharded cluster.
+
+    ``num_mns`` MNs are partitioned into groups of ``group_size``;
+    ``num_shards`` key-space shards spread over the groups via consistent
+    hashing.  ``clients`` is the default number of closed-loop client
+    generators the rack runner spreads over the CNs.
+    """
+
+    num_cns: int = 32
+    num_mns: int = 32
+    group_size: int = 4
+    num_shards: int = 128
+    clients: int = 2000
+    mn_capacity_bytes: int = 1 << 30
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    ring_vnodes: int = 64
+    placement_seed: int = 11
+    shard_seed: int = 23
+    shard_vnodes: int = 32
+
+    def validate(self) -> None:
+        if self.num_cns < 1:
+            raise ConfigError("need at least one compute node")
+        if self.group_size < 1:
+            raise ConfigError("group_size must be >= 1")
+        if self.num_mns < self.group_size \
+                or self.num_mns % self.group_size != 0:
+            raise ConfigError("num_mns must be a positive multiple of "
+                              "group_size")
+        if self.num_shards < self.num_mns // self.group_size:
+            raise ConfigError("need at least one shard per group")
+        if self.clients < 1:
+            raise ConfigError("need at least one client generator")
+
+    @property
+    def num_groups(self) -> int:
+        return self.num_mns // self.group_size
+
+
+@dataclass(frozen=True)
+class TopologyEvent:
+    """A scheduled elastic-membership event the rack runner executes.
+
+    ``mn_join`` provisions one fresh MN group and rebalances shards onto
+    it; ``mn_leave`` drains ``group`` (default: the lowest live group)
+    and retires it.  Both run *online*, interleaved with traffic.
+    """
+
+    at_ns: int
+    kind: str  # "mn_join" | "mn_leave"
+    group: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.kind not in ("mn_join", "mn_leave"):
+            raise ConfigError(f"unknown topology event kind {self.kind!r}")
+        if self.at_ns < 0:
+            raise ConfigError("TopologyEvent.at_ns must be >= 0")
+
+
+class GroupCluster:
+    """A group-scoped view of the rack's cluster.
+
+    Same engine, NICs, executors and attachment points (sanitizer, fault
+    injector, tracer, recovery) as the underlying :class:`Cluster` - but
+    ``memories`` and node placement restricted to the group's MNs, so an
+    index built against the view allocates, hashes and creates its INHT
+    tables only inside the group.  Everything else delegates.
+    """
+
+    def __init__(self, cluster: Cluster, mn_ids: Sequence[int], *,
+                 vnodes: int = 64, seed: int = 11):
+        self._cluster = cluster
+        self.mn_ids = list(mn_ids)
+        self.memories = {mn: cluster.memories[mn] for mn in mn_ids}
+        self.placement = NodePlacement(self.mn_ids, vnodes=vnodes, seed=seed)
+
+    def __getattr__(self, name):
+        # Everything not group-scoped (engine, executors, alloc/free,
+        # injector, tracer, recovery, config, NIC dicts...) is the rack's.
+        return getattr(self._cluster, name)
+
+    def alloc_for_prefix(self, prefix: bytes, size: int,
+                         category: str = "generic") -> int:
+        return self._cluster.alloc(self.placement.mn_for_prefix(prefix),
+                                   size, category)
+
+    def alloc_for_leaf(self, key: bytes, size: int,
+                       category: str = "leaf") -> int:
+        return self._cluster.alloc(self.placement.mn_for_leaf(key),
+                                   size, category)
+
+
+@dataclass
+class Migration:
+    """Live state of one in-flight shard migration (router-visible)."""
+
+    shard: int
+    src: int
+    dst: int
+    copied: Set[bytes] = field(default_factory=set)
+
+
+def _default_index_factory(view: GroupCluster):
+    """One Sphinx cell per group (the rack family's default system)."""
+    from ..core import SphinxConfig, SphinxIndex  # local: core uses dm
+    return SphinxIndex(view, SphinxConfig(filter_budget_bytes=1 << 16))
+
+
+class Rack:
+    """The rack-scale testbed: one cluster, many group-sharded cells.
+
+    ``index_factory(view)`` builds one index per group against its
+    :class:`GroupCluster` view; the default is a Sphinx cell.  The rack
+    itself quacks like an index for the YCSB runner: ``client(cn)``
+    returns a routing :class:`RackClient`.
+    """
+
+    def __init__(self, spec: ClusterSpec | None = None,
+                 index_factory: Optional[Callable] = None):
+        self.spec = spec if spec is not None else ClusterSpec()
+        self.spec.validate()
+        self.cluster = Cluster(ClusterConfig(
+            num_mns=self.spec.num_mns, num_cns=self.spec.num_cns,
+            mn_capacity_bytes=self.spec.mn_capacity_bytes,
+            network=self.spec.network, ring_vnodes=self.spec.ring_vnodes,
+            placement_seed=self.spec.placement_seed))
+        self._index_factory = index_factory if index_factory is not None \
+            else _default_index_factory
+        self._groups: Dict[int, GroupCluster] = {}
+        self._indexes: Dict[int, object] = {}
+        self._next_mn = self.spec.num_mns
+        self._next_group = self.spec.num_groups
+        for gid in range(self.spec.num_groups):
+            base = gid * self.spec.group_size
+            self._provision(gid, list(range(base, base + self.spec.group_size)))
+        self.shards = ShardMap(self.spec.num_shards,
+                               list(range(self.spec.num_groups)),
+                               seed=self.spec.shard_seed,
+                               vnodes=self.spec.shard_vnodes)
+        #: Committed keys per shard - the migration source of truth.
+        self.registry: List[Set[bytes]] = [set() for _ in
+                                           range(self.spec.num_shards)]
+        self.migrations: Dict[int, Migration] = {}
+        self.retired_groups: Set[int] = set()
+        self._clients: Dict[int, RackClient] = {}
+
+    # -- topology ----------------------------------------------------------
+    def _provision(self, gid: int, mn_ids: List[int]) -> None:
+        view = GroupCluster(self.cluster, mn_ids,
+                            vnodes=self.spec.ring_vnodes,
+                            seed=self.spec.placement_seed ^ (gid * 0x9E37))
+        self._groups[gid] = view
+        self._indexes[gid] = self._index_factory(view)
+
+    def add_group(self) -> int:
+        """Provision one fresh MN group (the ``mn_join`` event body).
+
+        New memories and NICs join the live cluster dicts, so executors,
+        the fault injector and NIC accounting - all of which hold those
+        dict references - see the new nodes without re-attachment.
+        """
+        net = self.cluster.config.network
+        mn_ids = []
+        for _ in range(self.spec.group_size):
+            mn = self._next_mn
+            self._next_mn += 1
+            self.cluster.memories[mn] = Memory(
+                mn, self.spec.mn_capacity_bytes)
+            if self.cluster.monitor is not None:
+                self.cluster.memories[mn].tracker = self.cluster.monitor
+            self.cluster.mn_nics[mn] = Nic(
+                self.cluster.engine, f"mn{mn}.nic", net, "mn",
+                net.mn_nic_capacity)
+            mn_ids.append(mn)
+        gid = self._next_group
+        self._next_group += 1
+        self._provision(gid, mn_ids)
+        return gid
+
+    def live_groups(self) -> List[int]:
+        return [g for g in sorted(self._indexes)
+                if g not in self.retired_groups]
+
+    def group_view(self, gid: int) -> GroupCluster:
+        return self._groups[gid]
+
+    def group_index(self, gid: int):
+        return self._indexes[gid]
+
+    # -- routing -----------------------------------------------------------
+    def shard_of(self, key: bytes) -> int:
+        return self.shards.shard_for_key(key)
+
+    def group_of(self, key: bytes) -> int:
+        """Migration-aware owner group of ``key`` right now."""
+        shard = self.shards.shard_for_key(key)
+        migration = self.migrations.get(shard)
+        if migration is None:
+            return self.shards.assignment[shard]
+        return migration.dst if key in migration.copied else migration.src
+
+    def client(self, cn_id: int) -> "RackClient":
+        if cn_id not in self._clients:
+            self._clients[cn_id] = RackClient(self, cn_id)
+        return self._clients[cn_id]
+
+    # -- accounting / checking ---------------------------------------------
+    def total_keys(self) -> int:
+        return sum(len(keys) for keys in self.registry)
+
+    def keys_by_group(self) -> Dict[int, int]:
+        out: Dict[int, int] = {g: 0 for g in sorted(self._indexes)}
+        for shard, keys in enumerate(self.registry):
+            out[self.shards.assignment[shard]] += len(keys)
+        return out
+
+    def fsck_all(self, repair: bool = False) -> List[tuple]:
+        """Run the offline consistency check on every group cell.
+
+        Returns ``[(gid, FsckReport), ...]``; pure memory walks, so the
+        check never creates engine events or perturbs a paused run.
+        """
+        from ..tools.fsck import check_index  # local: tools imports dm
+        return [(gid, check_index(self._groups[gid], self._indexes[gid],
+                                  repair=repair))
+                for gid in sorted(self._indexes)]
+
+
+class RackClient:
+    """One CN's routing client over the rack's group cells.
+
+    Mirrors the index-client op-generator API so the YCSB runner (and
+    ``bulk_load``/``warm_clients``) drive a rack exactly like a single
+    index.  Route choice happens at generator-construction time, which
+    the runner immediately follows with execution - there is no simulated
+    time between the two.
+    """
+
+    def __init__(self, rack: Rack, cn_id: int):
+        self.rack = rack
+        self.cn_id = cn_id
+        self._made: Dict[int, object] = {}
+
+    def _client(self, gid: int):
+        client = self._made.get(gid)
+        if client is None:
+            client = self.rack.group_index(gid).client(self.cn_id)
+            self._made[gid] = client
+        return client
+
+    def _route(self, key: bytes):
+        return self._client(self.rack.group_of(key))
+
+    # -- op generators -----------------------------------------------------
+    def search(self, key: bytes):
+        result = yield from self._route(key).search(key)
+        return result
+
+    def update(self, key: bytes, value: bytes):
+        result = yield from self._route(key).update(key, value)
+        return result
+
+    def insert(self, key: bytes, value: bytes):
+        rack = self.rack
+        shard = rack.shard_of(key)
+        migration = rack.migrations.get(shard)
+        if migration is not None and key not in rack.registry[shard]:
+            # A brand-new key lands in a migrating shard: write it to the
+            # destination outright and mark it copied, so the source cell
+            # never grows behind the copier's back.
+            result = yield from self._client(migration.dst).insert(key, value)
+            migration.copied.add(key)
+        else:
+            result = yield from self._route(key).insert(key, value)
+        rack.registry[shard].add(key)
+        return result
+
+    def delete(self, key: bytes):
+        rack = self.rack
+        shard = rack.shard_of(key)
+        removed = yield from self._route(key).delete(key)
+        rack.registry[shard].discard(key)
+        migration = rack.migrations.get(shard)
+        if migration is not None:
+            migration.copied.discard(key)
+        return removed
+
+    def scan_count(self, key: bytes, length: int):
+        # Per-shard scan: hash sharding does not keep global key order.
+        result = yield from self._route(key).scan_count(key, length)
+        return result
+
+    # -- introspection -----------------------------------------------------
+    def counters(self) -> Counters:
+        """Merged counters of every group client this CN materialized."""
+        return Counters.aggregate(
+            client_counters(self._made[gid]) for gid in sorted(self._made))
+
+    def cn_cache_bytes(self) -> int:
+        return sum(self._made[gid].cn_cache_bytes()
+                   for gid in sorted(self._made)
+                   if hasattr(self._made[gid], "cn_cache_bytes"))

@@ -197,7 +197,7 @@ class FaultPlan:
 
     @classmethod
     def chaos(cls, seed: int, intensity: float = 1.0,
-              crashes: bool = False) -> "FaultPlan":
+              crashes: bool = False, num_mns: int = 3) -> "FaultPlan":
         """The standard chaos mix used by ``--chaos`` and the property
         suite: fabric faults, under the *fail-safe CAS,
         at-least-once write* model the clients' retry protocols are
@@ -222,9 +222,15 @@ class FaultPlan:
         are injectable but deliberately not part of this mix - silent
         corruption has no protocol-level recovery story - and are
         exercised by targeted tests instead.
+
+        ``num_mns`` widens the seeded MN picks (brown-out window,
+        ``crash_mn`` victim) to a rack-scale cluster; the default of 3
+        keeps every existing plan byte-identical.
         """
         if intensity < 0:
             raise ConfigError("chaos intensity must be >= 0")
+        if num_mns < 1:
+            raise ConfigError("chaos num_mns must be >= 1")
         p = min(1.0, 0.01 * intensity)
         rng = random.Random(seed ^ 0xC4A05C4A05)
         window_start = rng.randrange(200_000, 2_000_000)
@@ -234,7 +240,7 @@ class FaultPlan:
             drop(p, verbs=("cas", "faa"), applied_prob=0.0),
             delay(min(1.0, 3 * p), delay_ns=20_000),
             duplicate(p, verbs=("write",)),
-            brownout(rng.randrange(0, 3), window_start,
+            brownout(rng.randrange(0, num_mns), window_start,
                      window_start + 250_000, min(1.0, 10 * p)),
         )
         if crashes:
@@ -242,6 +248,6 @@ class FaultPlan:
                 crash_cn(rng.randrange(2_000, 40_000), applied_prob=0.5),)
             if rng.random() < 0.5:
                 rules = rules + (
-                    crash_mn(rng.randrange(0, 3),
+                    crash_mn(rng.randrange(0, num_mns),
                              at_verb=rng.randrange(50_000, 120_000)),)
         return cls(seed=seed, rules=rules)

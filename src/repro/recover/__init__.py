@@ -16,6 +16,7 @@ from .manager import (
     RecoveryManager,
     RecoveryReport,
 )
+from .rebalance import Rebalancer
 
 __all__ = [
     "LeaseRecord",
@@ -23,4 +24,5 @@ __all__ = [
     "RecoveryConfig",
     "RecoveryManager",
     "RecoveryReport",
+    "Rebalancer",
 ]

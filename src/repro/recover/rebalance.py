@@ -1,0 +1,166 @@
+"""Online shard rebalancing for rack-scale clusters (DESIGN.md §13).
+
+When an MN group joins or leaves a :class:`repro.dm.rack.Rack`, the
+shards the consistent-hash ring reassigns must move while traffic runs.
+The :class:`Rebalancer` migrates one shard at a time with the copy
+protocol the router understands:
+
+1. publish a :class:`~repro.dm.rack.Migration` for the shard - from this
+   instant the router serves a key from the destination iff it is in the
+   migration's ``copied`` set, and writes brand-new keys straight to the
+   destination;
+2. sweep the shard's key registry in sorted order, copying each pending
+   key (read from source, insert at destination, mark copied, delete at
+   source) through a *timed* executor, so a migration competes for NIC
+   bandwidth like any tenant.  The router flip (``copied.add``) happens
+   *after* the destination copy is durable and *before* the source copy
+   is removed, so a concurrent reader always finds the key in whichever
+   cell it is routed to - the source delete runs while readers are
+   already served by the destination;
+3. repeat the sweep until it finds nothing pending (concurrent deletes
+   un-mark keys; concurrent inserts self-mark), then flip
+   ``assignment[shard]`` and retire the migration.
+
+Routing never jumps ahead of the data: every key is served by exactly
+one cell at every instant, which is the invariant the post-run fsck and
+the possible-state oracle check.  A value updated at the source after
+its copy departs is lost to the copy - last-writer-wins at copy time -
+the same relaxation online resharding systems document; the differential
+oracle treats both the pre- and post-copy value as possible.
+
+Under chaos the sweep degrades, never wedges: a retryable fault skips
+the key until the next sweep, and an ``MNUnavailable`` source (crashed
+MN group) forfeits the key's data but still marks it copied so the
+migration can complete - exactly what ``crash_mn`` means for a
+non-replicated cell.  A key whose copy keeps failing across
+``max_key_attempts`` sweeps is forfeited the same way: chaos-era
+"applied" write drops can leave a key in a state no online retry
+resolves (only ``fsck --repair`` can), and a migration must converge
+rather than sweep such a key forever.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..dm.rack import Migration, Rack
+from ..dm.rdma import OpStats
+from ..errors import (
+    ClientCrash,
+    InjectedFault,
+    MNUnavailable,
+    RetryLimitExceeded,
+)
+
+
+class Rebalancer:
+    """Migrates shards between a rack's MN groups while traffic runs."""
+
+    def __init__(self, rack: Rack, cn_id: int = 0,
+                 max_key_attempts: int = 8):
+        self.rack = rack
+        self.cn_id = cn_id
+        self.max_key_attempts = max_key_attempts
+        #: Verb totals of every migration this rebalancer ran (timed, so
+        #: migration traffic shows up in NIC utilization like any tenant).
+        self.op_stats = OpStats()
+        #: ``[(shard, src, dst, keys_moved), ...]`` of finished moves.
+        self.completed: List[Tuple[int, int, int, int]] = []
+        #: Keys whose copy kept failing (chaos damage) and whose data was
+        #: forfeited so the migration could converge.
+        self.forfeited: List[Tuple[int, bytes]] = []
+
+    def _executor(self):
+        return self.rack.cluster.sim_executor(self.cn_id, self.op_stats)
+
+    # -- membership changes (simulation processes) -------------------------
+    def join(self, gid: Optional[int] = None):
+        """Provision a fresh MN group (unless ``gid`` names one already
+        provisioned) and migrate the shards the ring moves onto it."""
+        rack = self.rack
+        if gid is None:
+            gid = rack.add_group()
+        moves = rack.shards.plan_join(gid)
+        rack.shards.commit_join(gid)
+        for shard, src, dst in moves:
+            yield from self.migrate_shard(shard, src, dst)
+        return gid
+
+    def leave(self, gid: Optional[int] = None):
+        """Drain ``gid`` (default: lowest live group) to the owners the
+        shrunk ring picks, then retire it."""
+        rack = self.rack
+        if gid is None:
+            gid = rack.live_groups()[0]
+        moves = rack.shards.plan_leave(gid)
+        for shard, src, dst in moves:
+            yield from self.migrate_shard(shard, src, dst)
+        rack.shards.commit_leave(gid)
+        rack.retired_groups.add(gid)
+        return gid
+
+    def migrate_shard(self, shard: int, src: int, dst: int):
+        """Copy one shard from group ``src`` to ``dst`` (see protocol
+        above); a simulation process, composable with ``yield from``."""
+        rack = self.rack
+        migration = Migration(shard=shard, src=src, dst=dst)
+        rack.migrations[shard] = migration
+        src_client = rack.group_index(src).client(self.cn_id)
+        dst_client = rack.group_index(dst).client(self.cn_id)
+        executor = self._executor()
+        moved = 0
+        failures: dict = {}
+        while True:
+            pending = sorted(rack.registry[shard] - migration.copied)
+            if not pending:
+                break
+            for key in pending:
+                try:
+                    value = yield from executor.run(src_client.search(key))
+                    if value is not None:
+                        yield from executor.run(
+                            dst_client.insert(key, value))
+                except (RetryLimitExceeded, InjectedFault):
+                    # Transient: leave the key pending; the next sweep
+                    # retries it - up to the per-key budget, past which
+                    # the damage is beyond online repair and the key's
+                    # data is forfeit (fsck finds the debris).
+                    failures[key] = failures.get(key, 0) + 1
+                    if failures[key] >= self.max_key_attempts:
+                        migration.copied.add(key)
+                        rack.registry[shard].discard(key)
+                        self.forfeited.append((shard, key))
+                    continue
+                except MNUnavailable:
+                    # The source cell is gone: the key's data is forfeit
+                    # (non-replicated cell), but the migration must still
+                    # converge - mark it copied and move on.
+                    migration.copied.add(key)
+                    rack.registry[shard].discard(key)
+                    continue
+                except ClientCrash:
+                    # The coordinator CN was a crash victim: continue the
+                    # sweep with a fresh executor, as the recovery
+                    # manager's daemons do.
+                    executor = self._executor()
+                    continue
+                # The copy is durable at the destination: flip the router
+                # first, then retire the source copy - readers in the
+                # delete window are already served by the destination.
+                migration.copied.add(key)
+                if value is not None:
+                    moved += 1
+                    try:
+                        yield from executor.run(src_client.delete(key))
+                    except (RetryLimitExceeded, InjectedFault,
+                            MNUnavailable):
+                        # The key is already routed to the destination;
+                        # a source copy that outlives a faulted delete is
+                        # an orphan in a cell that is either about to
+                        # retire or internally consistent without it.
+                        pass
+                    except ClientCrash:
+                        executor = self._executor()
+        rack.shards.assignment[shard] = dst
+        del rack.migrations[shard]
+        self.completed.append((shard, src, dst, moved))

@@ -1,0 +1,54 @@
+"""Token-bucket admission control, in exact integer arithmetic.
+
+The bucket never touches floats: one op costs :data:`UNITS_PER_TOKEN`
+units and a tenant at ``rate`` ops per simulated second earns exactly
+``rate`` units per simulated nanosecond (``rate`` ops/s x 1e9 units/op /
+1e9 ns/s).  Refill, deficit, and the earliest-admission time are all
+integer multiplies and ceiling divisions, so the admission schedule is
+bit-reproducible across platforms - the same property the simulation
+engine guarantees for everything else.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+#: One op's cost in bucket units (= 1e9, so units/ns arithmetic is exact).
+UNITS_PER_TOKEN = 1_000_000_000
+
+
+class TokenBucket:
+    """A deterministic token bucket over simulated nanoseconds."""
+
+    __slots__ = ("rate", "capacity_units", "units", "last_ns")
+
+    def __init__(self, rate_ops_per_s: int, burst_ops: int = 8):
+        if rate_ops_per_s < 1:
+            raise ConfigError("token bucket rate must be >= 1 op/s")
+        if burst_ops < 1:
+            raise ConfigError("token bucket burst must be >= 1 op")
+        self.rate = rate_ops_per_s
+        self.capacity_units = burst_ops * UNITS_PER_TOKEN
+        self.units = self.capacity_units  # starts full
+        self.last_ns = 0
+
+    def _refill(self, now_ns: int) -> None:
+        if now_ns > self.last_ns:
+            earned = (now_ns - self.last_ns) * self.rate
+            self.units = min(self.capacity_units, self.units + earned)
+            self.last_ns = now_ns
+
+    def ready_ns(self, now_ns: int) -> int:
+        """Earliest simulated time one op can be admitted (may be now)."""
+        self._refill(now_ns)
+        if self.units >= UNITS_PER_TOKEN:
+            return now_ns
+        deficit = UNITS_PER_TOKEN - self.units
+        return now_ns + (deficit + self.rate - 1) // self.rate
+
+    def take(self, now_ns: int) -> None:
+        """Admit one op; caller must have seen ``ready_ns() <= now_ns``."""
+        self._refill(now_ns)
+        if self.units < UNITS_PER_TOKEN:
+            raise ConfigError("token bucket take() before ready_ns()")
+        self.units -= UNITS_PER_TOKEN

@@ -1,0 +1,167 @@
+"""The rack-scale run orchestrator: tenants + topology + verification.
+
+:func:`run_rack` is the one entry point behind the ``rack`` figure
+family, the `rack-smoke` CI cell, and the tenancy test suites.  It
+
+1. builds a :class:`repro.dm.Rack` from a :class:`~repro.dm.ClusterSpec`
+   and bulk-loads the dataset across its shards;
+2. optionally attaches the chaos fault plan (widened to the rack's MN
+   count) and the recovery manager;
+3. spawns a **topology daemon** - a simulation process that sleeps until
+   each scheduled :class:`~repro.dm.TopologyEvent` and executes it
+   through the :class:`repro.recover.Rebalancer`, so MN joins/leaves and
+   their shard migrations interleave with tenant traffic on the same
+   clock;
+4. runs the tenant-multiplexed YCSB workload through the standard
+   runner (``tenancy=`` a shared controller);
+5. drives any still-migrating topology work to completion, then fscks
+   every group cell and reports the worst exit code.
+
+Everything consumes the one simulated clock and seeded RNG streams, so
+a rack run - tenants, migrations, chaos and all - is bit-identical
+across same-seed repeats; ``rows()`` is the canonical flattening the CI
+determinism gate diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..dm.rack import ClusterSpec, Rack, TopologyEvent
+from ..recover.rebalance import Rebalancer
+from ..ycsb.datasets import make_dataset
+from ..ycsb.runner import RunResult, bulk_load, run_workload
+from ..ycsb.workloads import workload
+from .sched import TenancyController
+from .spec import TenancyConfig, default_tenants
+
+
+@dataclass
+class RackRunResult:
+    """Everything one rack run produced, flattened for gates and tables."""
+
+    result: RunResult
+    rack: Rack
+    tenants: List[Dict]
+    topology: List[Dict]
+    fsck_exit: int
+    fsck_reports: list = field(repr=False, default_factory=list)
+
+    def rows(self) -> Dict:
+        """A JSON-serializable digest: the aggregate row, per-tenant
+        rows, the topology log, and the fsck verdict.  Two same-seed
+        runs must produce byte-identical ``rows()`` - the CI
+        determinism cell diffs exactly this."""
+        row = self.result.row()
+        row["sim_ns"] = self.result.sim_ns
+        row["failed_ops"] = self.result.failed_ops
+        row["crashed_workers"] = self.result.crashed_workers
+        return {
+            "aggregate": row,
+            "tenants": self.tenants,
+            "topology": self.topology,
+            "fsck_exit": self.fsck_exit,
+        }
+
+
+def _fsck_exit(report) -> int:
+    """Map one dry-run FsckReport to the fsck CLI's exit convention."""
+    if report.clean and not report.findings:
+        return 0
+    if report.findings and all(f.repairable for f in report.findings):
+        return 1
+    return 2
+
+
+def _topology_daemon(rack: Rack, rebalancer: Rebalancer,
+                     events: Sequence[TopologyEvent], start_ns: int,
+                     log: List[Dict]):
+    """Execute the topology schedule on the simulated clock (a process)."""
+    engine = rack.cluster.engine
+    for event in sorted(events, key=lambda e: (e.at_ns, e.kind)):
+        delay = start_ns + event.at_ns - engine.now
+        if delay > 0:
+            yield engine.timeout(delay)
+        before = len(rebalancer.completed)
+        if event.kind == "mn_join":
+            gid = yield from rebalancer.join(event.group)
+        else:
+            gid = yield from rebalancer.leave(event.group)
+        moves = rebalancer.completed[before:]
+        log.append({
+            "kind": event.kind,
+            "group": gid,
+            "at_ns": event.at_ns,
+            "done_ns": engine.now - start_ns,
+            "shards_moved": len(moves),
+            "keys_moved": sum(m[3] for m in moves),
+        })
+
+
+def run_rack(spec: Optional[ClusterSpec] = None, *,
+             tenants: Union[TenancyConfig, int, None] = 16,
+             workload_name: str = "A",
+             num_keys: int = 20_000, insert_pool: int = 2_000,
+             dataset_name: str = "u64",
+             ops: int = 20_000, seed: int = 0,
+             warmup_ops_per_cn: int = 0,
+             events: Sequence[TopologyEvent] = (),
+             chaos_seed: Optional[int] = None,
+             chaos_crashes: bool = False,
+             recovery: bool = False,
+             fsck_repair: bool = False,
+             index_factory=None,
+             time_limit_ns: int = 10_000_000_000_000) -> RackRunResult:
+    """One rack-scale serving run; see the module docstring for phases.
+
+    ``tenants`` is a roster (:class:`TenancyConfig`), a count (the
+    deterministic :func:`default_tenants` roster of that size), or
+    ``None`` for a single-tenant run on the plain runner path.  The
+    rack's ``spec.clients`` client generators are the run's workers.
+    """
+    spec = spec if spec is not None else ClusterSpec()
+    for event in events:
+        event.validate()
+    rack = Rack(spec, index_factory=index_factory)
+    dataset = make_dataset(dataset_name, num_keys, seed=1,
+                           insert_pool=insert_pool)
+    bulk_load(rack.cluster, rack, dataset)
+    if chaos_seed is not None:
+        from ..fault import FaultPlan  # local: fault is optional here
+        rack.cluster.attach_faults(FaultPlan.chaos(
+            chaos_seed, crashes=chaos_crashes, num_mns=spec.num_mns))
+    if recovery or chaos_crashes:
+        rack.cluster.attach_recovery()
+    controller = None
+    if tenants is not None:
+        config = tenants if isinstance(tenants, TenancyConfig) \
+            else default_tenants(tenants)
+        controller = TenancyController(config)
+    engine = rack.cluster.engine
+    start_ns = engine.now
+    topology_log: List[Dict] = []
+    topo_proc = None
+    rebalancer = Rebalancer(rack)
+    if events:
+        topo_proc = engine.process(
+            _topology_daemon(rack, rebalancer, events, start_ns,
+                             topology_log),
+            name="topologyd")
+    result = run_workload(
+        rack.cluster, rack, workload(workload_name), dataset,
+        system="Rack", workers=spec.clients, ops=ops,
+        warmup_ops_per_cn=warmup_ops_per_cn, seed=seed,
+        time_limit_ns=time_limit_ns, tenancy=controller)
+    if topo_proc is not None and not topo_proc.triggered:
+        # Traffic finished first: drive the remaining migrations (and
+        # any not-yet-due events) to completion on the same clock.
+        engine.run_until_complete(topo_proc,
+                                  limit=start_ns + 2 * time_limit_ns)
+    fsck_reports = rack.fsck_all(repair=fsck_repair)
+    fsck_exit = max((_fsck_exit(report) for _gid, report in fsck_reports),
+                    default=0)
+    return RackRunResult(result=result, rack=rack,
+                         tenants=result.tenants or [],
+                         topology=topology_log,
+                         fsck_exit=fsck_exit, fsck_reports=fsck_reports)

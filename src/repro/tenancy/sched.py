@@ -1,0 +1,142 @@
+"""Weighted-fair scheduling and the per-run tenancy controller.
+
+:class:`WeightedFairScheduler` is start-time-fair queueing in integer
+virtual time: picking tenant ``t`` advances its virtual finish time by
+``VT_UNIT // weight[t]``, so over any saturated interval tenants complete
+ops proportionally to their weights.  The idle catch-up (``max(vtime,
+vnow)``) keeps a tenant that was throttled by admission from hoarding an
+unbounded virtual-time credit and starving everyone once its bucket
+refills.
+
+:class:`TenancyController` is the object the tenant-aware YCSB workers
+share: it owns each tenant's token bucket, virtual time, and metric
+stores (OpStats / latency / failure counts), and hands out admission
+decisions.  It is pure state plus integer arithmetic driven by the
+simulated clock - no randomness, no wall time - so the per-tenant
+schedule is a deterministic function of (roster, seed, topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as _dataclass_fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dm.rdma import OpStats
+from ..obs.counters import Counters
+from ..sim.resources import LatencyRecorder
+from .admission import TokenBucket
+from .spec import TenancyConfig
+
+#: Virtual-time cost of one op at weight 1.  Large enough that integer
+#: division by any sane weight keeps plenty of resolution.
+VT_UNIT = 1 << 20
+
+
+class WeightedFairScheduler:
+    """Start-time-fair queueing over a fixed tenant set, integer-only."""
+
+    __slots__ = ("_weights", "_vtime", "_vnow")
+
+    def __init__(self, weights: Sequence[int]):
+        self._weights = list(weights)
+        self._vtime = [0] * len(self._weights)
+        self._vnow = 0
+
+    def pick(self, candidates: Sequence[int]) -> int:
+        """Pick the candidate with the least virtual time (index breaks
+        ties, so the choice is total and deterministic)."""
+        best = min(candidates, key=lambda t: (self._vtime[t], t))
+        start = max(self._vtime[best], self._vnow)
+        self._vnow = start
+        self._vtime[best] = start + VT_UNIT // self._weights[best]
+        return best
+
+
+class TenancyController:
+    """Shared multiplexing state for one tenant-aware run.
+
+    Workers call :meth:`acquire` before every op; the controller either
+    admits a tenant now (WFQ over every tenant whose bucket has a token)
+    or, with every bucket empty, returns how long to sleep until the
+    earliest refill.  Both paths are functions of the simulated clock
+    only.
+    """
+
+    def __init__(self, config: TenancyConfig):
+        config.validate()
+        self.config = config
+        self.tenants = config.tenants
+        n = len(self.tenants)
+        self.sched = WeightedFairScheduler([t.weight for t in self.tenants])
+        self.buckets: List[Optional[TokenBucket]] = [
+            TokenBucket(t.rate_ops_per_s, t.burst_ops)
+            if t.rate_ops_per_s is not None else None
+            for t in self.tenants]
+        self.workload_specs = [t.workload_spec() for t in self.tenants]
+        # Per-tenant metric stores, filled by the tenant-aware workers.
+        self.op_stats = [OpStats() for _ in range(n)]
+        self.latency = [LatencyRecorder() for _ in range(n)]
+        self.ops_done = [0] * n
+        self.failed_ops = [0] * n
+        # Run-wide throttle accounting (a wait with every bucket empty
+        # belongs to no single tenant).
+        self.throttle_waits = 0
+        self.throttle_wait_ns = 0
+
+    def __len__(self) -> int:
+        return len(self.tenants)
+
+    def acquire(self, now_ns: int) -> Tuple[int, int]:
+        """``(tenant, 0)`` when a tenant is admitted at ``now_ns``, or
+        ``(-1, wait_ns)`` when every bucket is empty."""
+        ready = [t for t, bucket in enumerate(self.buckets)
+                 if bucket is None or bucket.ready_ns(now_ns) <= now_ns]
+        if ready:
+            tenant = self.sched.pick(ready)
+            bucket = self.buckets[tenant]
+            if bucket is not None:
+                bucket.take(now_ns)
+            return tenant, 0
+        wait = min(bucket.ready_ns(now_ns)
+                   for bucket in self.buckets) - now_ns
+        wait = max(wait, 1)
+        self.throttle_waits += 1
+        self.throttle_wait_ns += wait
+        return -1, wait
+
+    # -- results -----------------------------------------------------------
+    def merge_opstats_into(self, total: OpStats) -> None:
+        """Fold every tenant's verb totals into the run-level OpStats."""
+        for stats in self.op_stats:
+            for field in _dataclass_fields(stats):
+                setattr(total, field.name,
+                        getattr(total, field.name)
+                        + getattr(stats, field.name))
+
+    def tenant_counters(self, tenant: int) -> Counters:
+        """One tenant's verb totals in the shared facade shape."""
+        return Counters.from_opstats(self.op_stats[tenant])
+
+    def tenant_rows(self, sim_ns: int) -> List[Dict]:
+        """Per-tenant goodput/latency rows (the rack table's columns)."""
+        rows = []
+        seconds = max(sim_ns, 1) / 1e9
+        for t, spec in enumerate(self.tenants):
+            ops = self.ops_done[t]
+            failed = self.failed_ops[t]
+            counters = self.tenant_counters(t)
+            rows.append({
+                "tenant": spec.name,
+                "workload": spec.workload,
+                "weight": spec.weight,
+                "rate_ops_per_s": spec.rate_ops_per_s,
+                "ops": ops,
+                "failed_ops": failed,
+                "goodput_mops": round((ops - failed) / seconds / 1e6, 4),
+                "avg_latency_us": round(self.latency[t].mean() / 1e3, 3),
+                "p99_latency_us": round(
+                    self.latency[t].percentile(99) / 1e3, 3),
+                "round_trips_per_op": round(
+                    counters["round_trips"] / ops, 3) if ops else 0.0,
+            })
+        return rows

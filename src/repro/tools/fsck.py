@@ -593,6 +593,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--format", choices=("text", "json"),
                         default="text",
                         help="output format (default text)")
+    parser.add_argument("--max-exit", type=int, metavar="CODE",
+                        choices=(0, 1, 2),
+                        help="tolerate fsck exit codes up to CODE by "
+                             "exiting 0 for them (e.g. --max-exit 1 "
+                             "accepts clean and repaired).  Unlike a "
+                             "shell-side '|| test $? -le 1', a non-fsck "
+                             "failure (import error, crash) still exits "
+                             "nonzero.")
     args = parser.parse_args(argv)
 
     cluster, index, manager = _build_scenario(args.keys, args.seed,
@@ -608,17 +616,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     recovered = bool(args.recover and manager.last_report is not None
                      and manager.last_report.reclaimed)
     code = _exit_code(report, args.dry_run, recovered)
+    # --max-exit folds tolerated codes to 0 at the process boundary only;
+    # the JSON report keeps the true fsck verdict.
+    status = 0 if args.max_exit is not None and code <= args.max_exit \
+        else code
     if args.format == "json":
         import json
         print(json.dumps(report_json(report, code, recovery_summary),
                          indent=2, sort_keys=True))
-        return code
+        return status
     print(report.summary())
     for finding in report.findings:
         action = ("repairable" if finding.repairable else "unrepairable")
         print(f"  [{finding.kind}] {finding.addr:#x}: {finding.detail} "
               f"({action})")
-    return code
+    return status
 
 
 if __name__ == "__main__":

@@ -73,6 +73,11 @@ class RunResult:
     # is attached; neither is part of row().
     profile: Optional[dict] = None
     trace: Optional[object] = None
+    # Multi-tenancy: per-tenant goodput/latency rows (see
+    # repro.tenancy.TenancyController.tenant_rows).  None when the run
+    # had no tenancy attached; not part of row(), so single-tenant
+    # results stay byte-identical to the pre-tenancy runner.
+    tenants: Optional[List[dict]] = None
 
     @property
     def throughput_mops(self) -> float:
@@ -274,6 +279,124 @@ class _DatasetView:
         self.keys = state.keys
 
 
+class _TenantLane:
+    """One worker's per-tenant op machinery (rng, chooser, executor).
+
+    Each (worker, tenant) pair draws from its own seeded rng so a
+    tenant's op stream is a deterministic function of (seed, wid,
+    tenant) alone - reordering tenants inside a worker, or adding a
+    tenant, never perturbs another tenant's stream.
+    """
+
+    __slots__ = ("rng", "chooser", "executor", "ops_names", "cum_weights",
+                 "spec", "served")
+
+    def __init__(self, cluster, state: _SharedRunState, wid: int, cn: int,
+                 tenant: int, spec, stats: OpStats):
+        self.spec = spec
+        self.rng = random.Random(state.seed * 7919 + wid * 104729 + tenant)
+        self.chooser = _make_chooser(spec, _DatasetView(state), self.rng)
+        self.executor = cluster.sim_executor(cn, stats)
+        mix = spec.mix()
+        self.ops_names = [k for k, v in mix.items() if v > 0]
+        self.cum_weights = list(_accumulate(mix[k] for k in self.ops_names))
+        self.served = 0
+
+
+def _tenant_worker(cluster: Cluster, index, state: _SharedRunState,
+                   wid: int, cn: int, ops: int, controller,
+                   latency: LatencyRecorder,
+                   latency_by_op: Dict[str, LatencyRecorder],
+                   failed: Optional[Dict[str, int]] = None):
+    """One closed-loop client multiplexing the roster's tenants.
+
+    The shared :class:`repro.tenancy.TenancyController` decides *which*
+    tenant's op runs next (weighted-fair over every tenant whose token
+    bucket has a token) and *when* (sleeping until the earliest refill
+    when all buckets are empty); this worker then runs the op exactly
+    like :func:`_worker` does, charging verbs and latency to the
+    tenant's own stores as well as the run-level ones.
+    """
+    engine = cluster.engine
+    client = index.client(cn)
+    lanes: Dict[int, _TenantLane] = {}
+    completed = 0
+    while completed < ops:
+        tenant, wait_ns = controller.acquire(engine.now)
+        if tenant < 0:
+            yield engine.timeout(wait_ns)
+            continue
+        lane = lanes.get(tenant)
+        if lane is None:
+            lane = _TenantLane(cluster, state, wid, cn, tenant,
+                               controller.workload_specs[tenant],
+                               controller.op_stats[tenant])
+            lanes[tenant] = lane
+        spec = lane.spec
+        rng = lane.rng
+        chooser = lane.chooser
+        executor = lane.executor
+        op_name = rng.choices(lane.ops_names,
+                              cum_weights=lane.cum_weights, k=1)[0]
+        i = lane.served
+        lane.served += 1
+        controller.ops_done[tenant] += 1
+        start = engine.now
+        try:
+            if op_name == "read":
+                key = state.keys[chooser.next() % len(state.keys)]
+                yield from executor.run(client.search(key))
+            elif op_name == "update":
+                key = state.keys[chooser.next() % len(state.keys)]
+                yield from executor.run(
+                    client.update(key, _value(wid * ops + i,
+                                              spec.value_size)))
+            elif op_name == "insert":
+                key = state.next_insert_key()
+                if key is None:  # pool exhausted: degrade to an update
+                    key = state.keys[chooser.next() % len(state.keys)]
+                    yield from executor.run(
+                        client.update(key, _value(i, spec.value_size)))
+                else:
+                    yield from executor.run(
+                        client.insert(key, _value(state.insert_seq,
+                                                  spec.value_size)))
+                    if isinstance(chooser, LatestGenerator):
+                        chooser.advance()
+            elif op_name == "scan":
+                key = state.keys[chooser.next() % len(state.keys)]
+                length = rng.randint(1, spec.scan_max_len)
+                yield from executor.run(client.scan_count(key, length))
+            elif op_name == "rmw":
+                key = state.keys[chooser.next() % len(state.keys)]
+                value = yield from executor.run(client.search(key))
+                new = _value(i, spec.value_size) if value is None else \
+                    bytes(reversed(value))
+                yield from executor.run(client.update(key, new))
+        except (RetryLimitExceeded, InjectedFault, MNUnavailable):
+            if failed is None:
+                raise
+            failed["ops"] += 1
+            controller.failed_ops[tenant] += 1
+        except ClientCrash:
+            # The dying op is charged to the tenant that issued it; the
+            # capacity this dead worker would still have contributed is
+            # charged to the run, not to any one tenant.
+            if failed is None:
+                raise
+            failed["ops"] += ops - completed
+            failed["crashed"] += 1
+            controller.failed_ops[tenant] += 1
+            latency.record(engine.now - start)
+            controller.latency[tenant].record(engine.now - start)
+            return
+        elapsed = engine.now - start
+        latency.record(elapsed)
+        controller.latency[tenant].record(elapsed)
+        latency_by_op.setdefault(op_name, LatencyRecorder()).record(elapsed)
+        completed += 1
+
+
 def _recovery_daemon(cluster: Cluster, index, manager):
     """Online lease-reclamation sweep (a simulation process).
 
@@ -306,8 +429,18 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
                  dataset: Dataset, *, system: str = "index",
                  workers: int = 12, ops: int = 6_000,
                  warmup_ops_per_cn: int = 0, seed: int = 0,
-                 time_limit_ns: int = 10_000_000_000_000) -> RunResult:
-    """Execute one timed run and collect throughput/latency/verb stats."""
+                 time_limit_ns: int = 10_000_000_000_000,
+                 tenancy=None) -> RunResult:
+    """Execute one timed run and collect throughput/latency/verb stats.
+
+    ``tenancy`` (a :class:`repro.tenancy.TenancyController`) switches the
+    workers to tenant-multiplexed mode: the controller's weighted-fair
+    scheduler and token buckets decide which tenant each op belongs to,
+    verbs and latency are charged per tenant, and the result carries
+    ``tenants`` rows.  With ``tenancy=None`` the runner takes the
+    original code path and its results are byte-identical to the
+    pre-tenancy runner (see tests/test_tenancy.py).
+    """
     if workers < 1:
         raise ConfigError("need at least one worker")
     warm_clients(cluster, index, spec, dataset, warmup_ops_per_cn, seed)
@@ -329,8 +462,13 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
     processes = []
     for wid in range(workers):
         cn = wid % num_cns
-        gen = _worker(cluster, index, state, wid, cn, per_worker,
-                      latency, stats, latency_by_op, failed)
+        if tenancy is None:
+            gen = _worker(cluster, index, state, wid, cn, per_worker,
+                          latency, stats, latency_by_op, failed)
+        else:
+            gen = _tenant_worker(cluster, index, state, wid, cn,
+                                 per_worker, tenancy, latency,
+                                 latency_by_op, failed)
         processes.append(engine.process(gen, name=f"worker{wid}"))
     for process in processes:
         engine.run_until_complete(process, limit=start_ns + time_limit_ns)
@@ -344,6 +482,10 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
                                     / max(sim_ns, 1), 4)
     metrics = Counters.aggregate(
         client_counters(index.client(cn)) for cn in range(num_cns))
+    if tenancy is not None:
+        # The tenant workers charged their verbs to per-tenant OpStats;
+        # fold them into the run-level totals the row() metrics read.
+        tenancy.merge_opstats_into(stats)
     return RunResult(system=system, workload=spec.name,
                      dataset=dataset.name, workers=workers, ops=actual_ops,
                      sim_ns=sim_ns, latency=latency, op_stats=stats,
@@ -352,4 +494,6 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
                      failed_ops=failed["ops"] if failed else 0,
                      crashed_workers=failed["crashed"] if failed else 0,
                      faults=dict(cluster.injector.counters)
-                     if cluster.injector is not None else {})
+                     if cluster.injector is not None else {},
+                     tenants=tenancy.tenant_rows(sim_ns)
+                     if tenancy is not None else None)

@@ -19,6 +19,7 @@ A mutation check closes the loop: a deliberately broken retry policy
 (silently swallowing exhaustion) must be *caught* by this same harness.
 """
 
+import os
 import random
 
 import pytest
@@ -41,7 +42,11 @@ from repro.race import (
     key_hash,
 )
 
-N_SEEDS = 50
+# Seeded sweeps: tier-1 can deselect with -m "not property"; the nightly
+# workflow widens the sweep via REPRO_PROPERTY_SEEDS=100.
+pytestmark = pytest.mark.property
+
+N_SEEDS = int(os.environ.get("REPRO_PROPERTY_SEEDS", "50"))
 NUM_KEYS = 40
 OPS = 80
 VERB_BUDGET = 500_000        # extra messages allowed per run (livelock)

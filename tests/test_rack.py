@@ -1,0 +1,275 @@
+"""Rack-scale topology tests (ISSUE 9 tentpole): shard maps, group-scoped
+cluster views, the migration routing protocol, and online rebalancing
+through the :class:`repro.recover.Rebalancer`.
+"""
+
+import pytest
+
+from repro.core import SphinxConfig, SphinxIndex
+from repro.dm import (
+    Cluster,
+    ClusterConfig,
+    ClusterSpec,
+    GroupCluster,
+    Migration,
+    Rack,
+    ShardMap,
+    TopologyEvent,
+)
+from repro.dm.memory import addr_mn
+from repro.dm.rdma import OpStats
+from repro.errors import ConfigError, InvalidArgument
+from repro.recover import Rebalancer
+
+SMALL = ClusterSpec(num_cns=2, num_mns=4, group_size=2, num_shards=16,
+                    clients=8, mn_capacity_bytes=16 << 20)
+
+
+def _keys(n, tag="k"):
+    return [f"{tag}/{i:04d}".encode() for i in range(n)]
+
+
+def _load(rack, keys, cn=0):
+    client = rack.client(cn)
+    ex = rack.cluster.direct_executor()
+    for i, key in enumerate(keys):
+        ex.run(client.insert(key, b"v%d" % i))
+    return client, ex
+
+
+# ---------------------------------------------------------------------------
+# ClusterSpec / TopologyEvent validation
+# ---------------------------------------------------------------------------
+
+def test_cluster_spec_validates():
+    assert ClusterSpec().num_groups == 8
+    with pytest.raises(ConfigError):
+        ClusterSpec(num_mns=6, group_size=4).validate()
+    with pytest.raises(ConfigError):
+        ClusterSpec(num_mns=8, group_size=4, num_shards=1).validate()
+    with pytest.raises(ConfigError):
+        ClusterSpec(clients=0).validate()
+    with pytest.raises(ConfigError):
+        TopologyEvent(at_ns=0, kind="mn_explode").validate()
+    with pytest.raises(ConfigError):
+        TopologyEvent(at_ns=-1, kind="mn_join").validate()
+
+
+# ---------------------------------------------------------------------------
+# ShardMap: consistent hashing with minimal movement
+# ---------------------------------------------------------------------------
+
+def test_shard_map_assignment_is_total_and_stable():
+    shards = ShardMap(64, [0, 1, 2])
+    assert len(shards.assignment) == 64
+    assert set(shards.assignment) <= {0, 1, 2}
+    again = ShardMap(64, [2, 1, 0])      # order must not matter
+    assert shards.assignment == again.assignment
+    key = b"hello"
+    assert shards.shard_for_key(key) == shards.shard_for_key(key)
+    assert shards.group_for_key(key) \
+        == shards.assignment[shards.shard_for_key(key)]
+
+
+def test_shard_map_join_moves_only_to_new_group():
+    shards = ShardMap(128, [0, 1, 2])
+    before = list(shards.assignment)
+    moves = shards.plan_join(3)
+    assert moves, "a joining group should attract some shards"
+    assert all(dst == 3 for _s, _src, dst in moves)
+    assert all(before[s] == src for s, src, _dst in moves)
+    # Minimal movement: every shard not in the plan keeps its owner.
+    fresh = ShardMap(128, [0, 1, 2, 3])
+    moved = {s for s, _src, _dst in moves}
+    for s in range(128):
+        expect = 3 if s in moved else before[s]
+        assert fresh.assignment[s] == expect
+
+
+def test_shard_map_leave_drains_exactly_that_group():
+    shards = ShardMap(128, [0, 1, 2, 3])
+    owned = set(shards.shards_of(1))
+    moves = shards.plan_leave(1)
+    assert {s for s, _src, _dst in moves} == owned
+    assert all(src == 1 and dst != 1 for _s, src, dst in moves)
+    # The destinations are what a ring without group 1 picks.
+    fresh = ShardMap(128, [0, 2, 3])
+    for s, _src, dst in moves:
+        assert fresh.assignment[s] == dst
+
+
+def test_shard_map_membership_guards():
+    shards = ShardMap(16, [0])
+    with pytest.raises(ConfigError):
+        shards.plan_join(0)
+    with pytest.raises(ConfigError):
+        shards.plan_leave(7)
+    with pytest.raises(ConfigError):
+        shards.plan_leave(0)             # cannot drain the last group
+    with pytest.raises(InvalidArgument):
+        ShardMap(0, [0])
+    with pytest.raises(InvalidArgument):
+        ShardMap(4, [])
+
+
+# ---------------------------------------------------------------------------
+# GroupCluster: allocation confined to the group's MNs
+# ---------------------------------------------------------------------------
+
+def test_group_cluster_confines_allocation():
+    cluster = Cluster(ClusterConfig(num_mns=4, num_cns=1,
+                                    mn_capacity_bytes=16 << 20))
+    view = GroupCluster(cluster, [1, 2], seed=11)
+    index = SphinxIndex(view, SphinxConfig(filter_budget_bytes=1 << 14))
+    client = index.client(0)
+    ex = cluster.direct_executor()
+    for i, key in enumerate(_keys(120)):
+        ex.run(client.insert(key, b"v%d" % i))
+        assert ex.run(client.search(key)) == b"v%d" % i
+    assert cluster.memories[1].allocated_bytes() > 0
+    assert cluster.memories[2].allocated_bytes() > 0
+    for outsider in (0, 3):
+        assert cluster.memories[outsider].allocated_bytes() == 0
+    # The view's own allocators stamp group-MN addresses.
+    assert addr_mn(view.alloc_for_leaf(b"some-key", 64)) in (1, 2)
+    assert addr_mn(view.alloc_for_prefix(b"pre", 64)) in (1, 2)
+    # Delegation: the view shares the rack cluster's engine and config.
+    assert view.engine is cluster.engine
+    assert view.config is cluster.config
+
+
+# ---------------------------------------------------------------------------
+# Rack: routing, registry, elasticity, fsck
+# ---------------------------------------------------------------------------
+
+def test_rack_routes_and_survives_round_trip():
+    rack = Rack(SMALL)
+    keys = _keys(300)
+    client, ex = _load(rack, keys)
+    assert rack.total_keys() == len(keys)
+    by_group = rack.keys_by_group()
+    assert sum(by_group.values()) == len(keys)
+    assert all(count > 0 for count in by_group.values()), (
+        "300 keys over 2 groups should land on both")
+    for i, key in enumerate(keys):
+        assert ex.run(client.search(key)) == b"v%d" % i
+    assert ex.run(client.delete(keys[0])) is True
+    assert ex.run(client.search(keys[0])) is None
+    assert rack.total_keys() == len(keys) - 1
+    assert all(code == 0 for code in _fsck_codes(rack))
+
+
+def _fsck_codes(rack):
+    return [0 if report.clean and not report.findings else 2
+            for _gid, report in rack.fsck_all()]
+
+
+def test_rack_key_lives_in_exactly_one_cell():
+    rack = Rack(SMALL)
+    keys = _keys(200)
+    _client, ex = _load(rack, keys)
+    for key in keys[:40]:
+        owner = rack.group_of(key)
+        for gid in rack.live_groups():
+            got = ex.run(rack.group_index(gid).client(0).search(key))
+            if gid == owner:
+                assert got is not None
+            else:
+                assert got is None, (
+                    f"{key!r} leaked into non-owner group {gid}")
+
+
+def test_migration_routing_follows_copied_set():
+    rack = Rack(SMALL)
+    keys = _keys(50)
+    client, ex = _load(rack, keys)
+    key = keys[0]
+    shard = rack.shard_of(key)
+    src = rack.shards.assignment[shard]
+    dst = next(g for g in rack.live_groups() if g != src)
+    migration = Migration(shard=shard, src=src, dst=dst)
+    rack.migrations[shard] = migration
+    assert rack.group_of(key) == src
+    migration.copied.add(key)
+    assert rack.group_of(key) == dst
+    # A brand-new insert into a migrating shard goes straight to dst.
+    probe = next(cand for cand in
+                 (b"brand-new/%d/%d" % (shard, i) for i in range(100_000))
+                 if rack.shard_of(cand) == shard
+                 and cand not in rack.registry[shard])
+    ex.run(client.insert(probe, b"new"))
+    assert probe in migration.copied
+    assert ex.run(rack.group_index(dst).client(0).search(probe)) == b"new"
+    # Deleting un-marks, so a re-insert routes through the source again.
+    ex.run(client.delete(probe))
+    assert probe not in migration.copied
+    del rack.migrations[shard]
+
+
+def test_add_group_provisions_live_nodes():
+    rack = Rack(SMALL)
+    mns_before = set(rack.cluster.memories)
+    gid = rack.add_group()
+    assert gid == SMALL.num_groups
+    new_mns = set(rack.cluster.memories) - mns_before
+    assert len(new_mns) == SMALL.group_size
+    assert all(mn in rack.cluster.mn_nics for mn in new_mns)
+    assert set(rack.group_view(gid).memories) == new_mns
+    assert gid in rack.live_groups()
+
+
+def _run_process(rack, gen, name):
+    engine = rack.cluster.engine
+    engine.run_until_complete(engine.process(gen, name=name),
+                              limit=engine.now + 10_000_000_000_000)
+
+
+def test_rebalancer_join_then_leave_preserves_every_key():
+    rack = Rack(SMALL)
+    keys = _keys(400)
+    client, ex = _load(rack, keys)
+    rebalancer = Rebalancer(rack)
+    _run_process(rack, rebalancer.join(), "join")
+    joined = SMALL.num_groups
+    assert joined in rack.shards.groups
+    assert rack.keys_by_group()[joined] > 0, "join attracted no keys"
+    _run_process(rack, rebalancer.leave(0), "leave")
+    assert 0 in rack.retired_groups
+    assert 0 not in rack.live_groups()
+    assert rack.keys_by_group()[0] == 0
+    assert not rack.migrations, "all migrations must retire"
+    assert rack.total_keys() == len(keys)
+    for i, key in enumerate(keys):
+        assert ex.run(client.search(key)) == b"v%d" % i, (
+            f"{key!r} lost across join+leave")
+    assert all(code == 0 for code in _fsck_codes(rack))
+    # Migration traffic was timed: the rebalancer burned verbs.
+    assert rebalancer.op_stats.reads + rebalancer.op_stats.writes > 0
+    assert sum(m[3] for m in rebalancer.completed) > 0
+
+
+def test_rebalancer_migration_is_online():
+    """Keys stay readable mid-migration: interleave a reader process with
+    the rebalancer on the same simulated clock."""
+    rack = Rack(SMALL)
+    keys = _keys(250)
+    client, _ex = _load(rack, keys)
+    rebalancer = Rebalancer(rack)
+    engine = rack.cluster.engine
+    stats = OpStats()
+    executor = rack.cluster.sim_executor(1, stats)
+    reads = {"ok": 0}
+
+    def reader():
+        while True:
+            for i in (0, 97, 201):
+                got = yield from executor.run(client.search(keys[i]))
+                assert got == b"v%d" % i, (
+                    f"{keys[i]!r} unreadable mid-migration")
+                reads["ok"] += 1
+            yield engine.timeout(2_000)
+
+    engine.process(reader(), name="reader")
+    _run_process(rack, rebalancer.join(), "join")
+    assert reads["ok"] > 0, "the reader never overlapped the migration"
+    assert all(code == 0 for code in _fsck_codes(rack))
