@@ -144,6 +144,13 @@ def main(argv=None) -> int:
                             help="workload seed of the rack cells")
     rack_group.add_argument("--no-rebalance", action="store_true",
                             help="skip the online MN join/leave cell")
+    rack_group.add_argument("--replicas", type=int, default=0,
+                            help="shard replication degree K; K > 0 adds "
+                                 "the 'replicated' cell (default 0)")
+    rack_group.add_argument("--crash-mn-verb", type=int, metavar="N",
+                            help="with --replicas: crash one MN after N "
+                                 "injector verbs inside the replicated "
+                                 "cell, forcing an online failover")
     rack_group.add_argument("--rows-out", metavar="PATH",
                             help="write the rack digest JSON (aggregate + "
                                  "per-tenant rows + topology log + fsck); "
@@ -164,6 +171,8 @@ def main(argv=None) -> int:
         parser.error("--chaos-crashes requires --chaos")
     if (args.trace_out or args.trace_jsonl) and not args.profile:
         parser.error("--trace-out/--trace-jsonl require --profile")
+    if args.crash_mn_verb is not None and args.replicas < 1:
+        parser.error("--crash-mn-verb requires --replicas >= 1")
     profiles = {}
     traces = {}
 
@@ -203,7 +212,9 @@ def main(argv=None) -> int:
                              num_keys=args.keys, ops=args.ops,
                              seed=args.rack_seed,
                              rebalance=not args.no_rebalance,
-                             chaos_seed=chaos_seed)
+                             chaos_seed=chaos_seed,
+                             replicas=args.replicas,
+                             crash_mn_verb=args.crash_mn_verb)
         print(render_rack(figure))
         if args.rows_out:
             with open(args.rows_out, "w") as fh:

@@ -60,18 +60,29 @@ class ShardMap:
     """
 
     def __init__(self, num_shards: int, groups: Sequence[int], *,
-                 seed: int = 23, vnodes: int = 32):
+                 seed: int = 23, vnodes: int = 32, replicas: int = 0):
         if num_shards < 1:
             raise InvalidArgument("need at least one shard")
         if not groups:
             raise InvalidArgument("need at least one group")
+        if replicas < 0:
+            raise InvalidArgument("replicas must be >= 0")
         self.num_shards = num_shards
         self._seed = seed
         self._vnodes = vnodes
         self._groups: List[int] = sorted(groups)
         ring = self._ring()
+        self._cur_ring = ring
         self.assignment: List[int] = [ring.lookup(self._token(s))
                                       for s in range(num_shards)]
+        #: Replication degree K: each shard keeps K replica groups beyond
+        #: its primary, picked as the ring's successor chain.
+        self.replicas = replicas
+        #: Materialized replica sets per shard - like ``assignment``, the
+        #: list (not the ring) is the routing truth: failover and the
+        #: rebalancer's re-replication edit it one shard at a time.
+        self.replica_assignment: List[List[int]] = [
+            self.desired_replicas(s) for s in range(num_shards)]
 
     @staticmethod
     def _token(shard: int) -> bytes:
@@ -94,6 +105,37 @@ class ShardMap:
 
     def shards_of(self, group: int) -> List[int]:
         return [s for s, g in enumerate(self.assignment) if g == group]
+
+    # -- replica placement -------------------------------------------------
+    def desired_replicas(self, shard: int,
+                         primary: int | None = None,
+                         exclude: Sequence[int] = ()) -> List[int]:
+        """The K replica groups the *current* ring picks for ``shard``:
+        the first K distinct successors of the shard's token, skipping
+        the primary and anything in ``exclude`` (draining/failed
+        groups).  Successor chains inherit consistent hashing's
+        minimal-movement property: a membership change only perturbs the
+        chains that cross the changed token arcs.  Returns fewer than K
+        when the ring has too few eligible groups.
+        """
+        if self.replicas == 0:
+            return []
+        primary = self.assignment[shard] if primary is None else primary
+        banned = {primary} | set(exclude)
+        chain = self._cur_ring.lookup_chain(self._token(shard),
+                                            len(self._groups))
+        return [g for g in chain if g not in banned][:self.replicas]
+
+    def owner_chain(self, shard: int) -> List[int]:
+        """Every current ring member in successor order from the shard's
+        token - the candidate list failover re-homing walks."""
+        return self._cur_ring.lookup_chain(self._token(shard),
+                                           len(self._groups))
+
+    def replicas_of(self, group: int) -> List[int]:
+        """Shards currently keeping a replica on ``group``."""
+        return [s for s, gs in enumerate(self.replica_assignment)
+                if group in gs]
 
     # -- rebalancing plans -------------------------------------------------
     def plan_join(self, new_group: int) -> List[Tuple[int, int, int]]:
@@ -126,6 +168,8 @@ class ShardMap:
     # -- membership commits ------------------------------------------------
     def commit_join(self, group: int) -> None:
         self._groups = sorted(self._groups + [group])
+        self._cur_ring = self._ring()
 
     def commit_leave(self, group: int) -> None:
         self._groups = [g for g in self._groups if g != group]
+        self._cur_ring = self._ring()

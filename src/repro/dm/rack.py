@@ -30,7 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from ..errors import ConfigError
+from ..errors import (
+    ConfigError,
+    InjectedFault,
+    MNUnavailable,
+    RetryLimitExceeded,
+    StaleEpoch,
+)
 from ..obs.counters import Counters, client_counters
 from .cluster import Cluster, ClusterConfig
 from .network import NetworkConfig, Nic
@@ -59,6 +65,10 @@ class ClusterSpec:
     placement_seed: int = 11
     shard_seed: int = 23
     shard_vnodes: int = 32
+    #: Replication degree K: each shard keeps K replica groups beyond
+    #: its primary (0 = the original unreplicated rack, byte-identical
+    #: schedules to the pre-replication code).
+    replicas: int = 0
 
     def validate(self) -> None:
         if self.num_cns < 1:
@@ -73,6 +83,11 @@ class ClusterSpec:
             raise ConfigError("need at least one shard per group")
         if self.clients < 1:
             raise ConfigError("need at least one client generator")
+        if self.replicas < 0:
+            raise ConfigError("replicas must be >= 0")
+        if self.replicas >= self.num_groups:
+            raise ConfigError("replicas must leave at least one group "
+                              "as primary (replicas < num_groups)")
 
     @property
     def num_groups(self) -> int:
@@ -178,12 +193,31 @@ class Rack:
         self.shards = ShardMap(self.spec.num_shards,
                                list(range(self.spec.num_groups)),
                                seed=self.spec.shard_seed,
-                               vnodes=self.spec.shard_vnodes)
+                               vnodes=self.spec.shard_vnodes,
+                               replicas=self.spec.replicas)
         #: Committed keys per shard - the migration source of truth.
         self.registry: List[Set[bytes]] = [set() for _ in
                                            range(self.spec.num_shards)]
         self.migrations: Dict[int, Migration] = {}
         self.retired_groups: Set[int] = set()
+        #: Groups lost to ``crash_mn`` (a subset of ``retired_groups``
+        #: once the failover manager has processed them).
+        self.failed_groups: Set[int] = set()
+        #: Per-shard failover epochs.  A replicated write captures its
+        #: shard's epoch at route time and re-checks it before every
+        #: apply; a failover promotion bumps the epoch, fencing off
+        #: writes routed against the deposed primary (DESIGN.md §14).
+        self.epochs: List[int] = [0] * self.spec.num_shards
+        #: Per-shard ``{replica_gid: missed_writes}`` - how many
+        #: replicated applies each replica failed to absorb since its
+        #: last successful anti-entropy sweep.  "Freshest replica" at
+        #: promotion time = minimal lag (ties broken by lowest gid).
+        self.replica_lag: List[Dict[int, int]] = [
+            {} for _ in range(self.spec.num_shards)]
+        #: Replication-tier counters (fallback reads, fenced writes,
+        #: failovers, anti-entropy repairs...), the Counters facade the
+        #: rack runner folds into its digest.
+        self.repl = Counters()
         self._clients: Dict[int, RackClient] = {}
 
     # -- topology ----------------------------------------------------------
@@ -246,6 +280,23 @@ class Rack:
             self._clients[cn_id] = RackClient(self, cn_id)
         return self._clients[cn_id]
 
+    # -- epoch fencing (DESIGN.md §14) --------------------------------------
+    def check_epoch(self, shard: int, epoch: int) -> None:
+        """Fence: raise :class:`~repro.errors.StaleEpoch` when a write's
+        captured epoch no longer matches the shard's (a failover
+        promotion happened while the op was in flight)."""
+        current = self.epochs[shard]
+        if epoch != current:
+            self.repl.inc("fenced_writes")
+            raise StaleEpoch(
+                f"shard {shard}: write captured epoch {epoch}, "
+                f"fenced at epoch {current}",
+                shard=shard, expected=epoch, current=current)
+
+    def live_replicas(self, shard: int) -> List[int]:
+        return [g for g in self.shards.replica_assignment[shard]
+                if g not in self.failed_groups]
+
     # -- accounting / checking ---------------------------------------------
     def total_keys(self) -> int:
         return sum(len(keys) for keys in self.registry)
@@ -261,11 +312,82 @@ class Rack:
 
         Returns ``[(gid, FsckReport), ...]``; pure memory walks, so the
         check never creates engine events or perturbs a paused run.
+        With replication enabled a final rack-level report (gid ``-1``)
+        verifies replica agreement: every registered key present at its
+        primary cell, present with the identical value at every live
+        replica cell, and present *nowhere else*.  Groups a failover
+        retired (``failed_groups``) are skipped: their cells are
+        half-blanked corpses already out of service, and their shards'
+        health is judged by the replica-agreement stage instead.
         """
         from ..tools.fsck import check_index  # local: tools imports dm
-        return [(gid, check_index(self._groups[gid], self._indexes[gid],
-                                  repair=repair))
-                for gid in sorted(self._indexes)]
+        reports = [(gid, check_index(self._groups[gid], self._indexes[gid],
+                                     repair=repair))
+                   for gid in sorted(self._indexes)
+                   if gid not in self.failed_groups]
+        if self.spec.replicas:
+            reports.append((-1, self.check_replica_agreement()))
+        return reports
+
+    def check_replica_agreement(self):
+        """Offline replica-agreement check (the rack-level fsck stage).
+
+        Enumerates every live cell's leaves straight from MN memory (no
+        clock, no verbs, no injector RNG) and cross-checks them against
+        the shard registry and the replica map:
+
+        * ``replica_missing``  - a registered key absent from its
+          primary cell or from a live replica cell;
+        * ``replica_divergence`` - a replica holds the key with a value
+          different from the primary's (anti-entropy's repair target,
+          so the finding is marked repairable);
+        * ``replica_leak``     - a live cell holds a key of a shard it
+          neither owns nor replicates.
+        """
+        from ..tools.fsck import FsckReport, collect_leaves
+        report = FsckReport()
+        live = [g for g in self.live_groups() if g not in self.failed_groups]
+        cells = {gid: collect_leaves(self._groups[gid],
+                                     self._indexes[gid].root_addr)
+                 for gid in live}
+        for shard, keys in enumerate(self.registry):
+            primary = self.shards.assignment[shard]
+            replicas = [g for g in self.shards.replica_assignment[shard]
+                        if g in cells]
+            pcell = cells.get(primary)
+            for key in sorted(keys):
+                pval = pcell.get(key) if pcell is not None else None
+                if pcell is not None and pval is None:
+                    report.error(f"shard {shard}: registered key {key!r} "
+                                 f"absent from primary group {primary}")
+                    report.find("replica_missing", 0,
+                                f"key {key!r} absent from primary "
+                                f"group {primary}", repairable=False)
+                for gid in replicas:
+                    rval = cells[gid].get(key)
+                    if rval is None:
+                        report.error(f"shard {shard}: key {key!r} absent "
+                                     f"from replica group {gid}")
+                        report.find("replica_missing", 0,
+                                    f"key {key!r} absent from replica "
+                                    f"group {gid}", repairable=False)
+                    elif pval is not None and rval != pval:
+                        report.find("replica_divergence", 0,
+                                    f"shard {shard} key {key!r}: replica "
+                                    f"group {gid} diverges from primary "
+                                    f"{primary}", repairable=True)
+        for gid in live:
+            for key in sorted(cells[gid]):
+                shard = self.shards.shard_for_key(key)
+                if gid != self.shards.assignment[shard] \
+                        and gid not in self.shards.replica_assignment[shard]:
+                    report.error(f"group {gid}: holds key {key!r} of "
+                                 f"shard {shard} it neither owns nor "
+                                 "replicates")
+                    report.find("replica_leak", 0,
+                                f"group {gid} leaks key {key!r} "
+                                f"(shard {shard})", repairable=False)
+        return report
 
 
 class RackClient:
@@ -293,20 +415,81 @@ class RackClient:
     def _route(self, key: bytes):
         return self._client(self.rack.group_of(key))
 
+    # -- replication plumbing (no-ops at K=0) ------------------------------
+    def _replicate(self, shard: int, epoch: int, op: str, key: bytes,
+                   value: Optional[bytes] = None):
+        """Apply one committed write to the shard's live replicas.
+
+        Each apply is fenced on the captured epoch, so a straggler write
+        routed before a failover never lands on a stale replica chain.
+        A replica that faults mid-apply is skipped and its per-shard lag
+        recorded - the anti-entropy sweep repairs it later - because the
+        primary apply already committed the op.
+        """
+        rack = self.rack
+        for gid in rack.shards.replica_assignment[shard]:
+            if gid in rack.failed_groups:
+                continue
+            rack.check_epoch(shard, epoch)
+            client = self._client(gid)
+            try:
+                if op == "delete":
+                    yield from client.delete(key)
+                else:
+                    # Upsert: a lagging replica may not hold the key yet.
+                    yield from client.insert(key, value)
+            except (RetryLimitExceeded, InjectedFault, MNUnavailable):
+                lag = rack.replica_lag[shard]
+                lag[gid] = lag.get(gid, 0) + 1
+                rack.repl.inc("replica_write_failures")
+            else:
+                rack.repl.inc("replica_writes")
+
+    def _replica_read(self, shard: int, key: bytes):
+        """Read fallback: serve ``key`` from the freshest live replica
+        chain after the primary failed with ``MNUnavailable``."""
+        rack = self.rack
+        for gid in rack.live_replicas(shard):
+            try:
+                result = yield from self._client(gid).search(key)
+            except MNUnavailable:
+                continue
+            rack.repl.inc("replica_fallback_reads")
+            return result
+        raise MNUnavailable(
+            f"shard {shard}: primary and every replica unavailable")
+
     # -- op generators -----------------------------------------------------
     def search(self, key: bytes):
-        result = yield from self._route(key).search(key)
+        if not self.rack.spec.replicas:
+            result = yield from self._route(key).search(key)
+            return result
+        try:
+            result = yield from self._route(key).search(key)
+        except MNUnavailable:
+            result = yield from self._replica_read(
+                self.rack.shard_of(key), key)
         return result
 
     def update(self, key: bytes, value: bytes):
+        rack = self.rack
+        if not rack.spec.replicas:
+            result = yield from self._route(key).update(key, value)
+            return result
+        shard = rack.shard_of(key)
+        epoch = rack.epochs[shard]
         result = yield from self._route(key).update(key, value)
+        yield from self._replicate(shard, epoch, "update", key, value)
         return result
 
     def insert(self, key: bytes, value: bytes):
         rack = self.rack
         shard = rack.shard_of(key)
+        replicated = rack.spec.replicas > 0
+        epoch = rack.epochs[shard] if replicated else 0
+        fresh = key not in rack.registry[shard]
         migration = rack.migrations.get(shard)
-        if migration is not None and key not in rack.registry[shard]:
+        if migration is not None and fresh:
             # A brand-new key lands in a migrating shard: write it to the
             # destination outright and mark it copied, so the source cell
             # never grows behind the copier's back.
@@ -315,16 +498,31 @@ class RackClient:
         else:
             result = yield from self._route(key).insert(key, value)
         rack.registry[shard].add(key)
+        if replicated:
+            try:
+                yield from self._replicate(shard, epoch, "insert", key,
+                                           value)
+            except StaleEpoch:
+                # The op fails (stale route) and must not claim a commit:
+                # a key this op introduced is unregistered again - its
+                # only apply landed on the deposed (dead) primary.
+                if fresh:
+                    rack.registry[shard].discard(key)
+                raise
         return result
 
     def delete(self, key: bytes):
         rack = self.rack
         shard = rack.shard_of(key)
+        replicated = rack.spec.replicas > 0
+        epoch = rack.epochs[shard] if replicated else 0
         removed = yield from self._route(key).delete(key)
         rack.registry[shard].discard(key)
         migration = rack.migrations.get(shard)
         if migration is not None:
             migration.copied.discard(key)
+        if replicated:
+            yield from self._replicate(shard, epoch, "delete", key)
         return removed
 
     def scan_count(self, key: bytes, length: int):

@@ -115,6 +115,28 @@ class MNUnavailable(IndexError_):
         self.addr = addr
 
 
+class StaleEpoch(IndexError_):
+    """A replicated rack write captured a shard epoch that a failover
+    promotion has since fenced off.
+
+    The rack bumps a shard's epoch when it promotes a replica to
+    primary (see DESIGN.md §14), so an in-flight write that routed
+    against the pre-failover assignment is rejected at its next apply
+    instead of landing on a deposed primary or a stale replica chain.
+    The workload driver counts the op as failed goodput, exactly like
+    :class:`MNUnavailable` - retrying cannot help, the route itself is
+    stale.
+    """
+
+    def __init__(self, message: str, *, shard: Optional[int] = None,
+                 expected: Optional[int] = None,
+                 current: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.expected = expected  # the epoch the op captured at route time
+        self.current = current    # the shard's epoch at apply time
+
+
 class ClientCrash(ReproError):
     """A ``crash_cn`` fault killed this executor's client mid-operation.
 

@@ -9,6 +9,7 @@ splits forward or back, and drives ``fsck --repair`` for anything
 structural the lock protocol alone cannot mend.
 """
 
+from .failover import FailoverManager
 from .manager import (
     LeaseRecord,
     LeaseTable,
@@ -19,6 +20,7 @@ from .manager import (
 from .rebalance import Rebalancer
 
 __all__ = [
+    "FailoverManager",
     "LeaseRecord",
     "LeaseTable",
     "RecoveryConfig",

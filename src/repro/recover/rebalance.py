@@ -1,4 +1,4 @@
-"""Online shard rebalancing for rack-scale clusters (DESIGN.md §13).
+"""Online shard rebalancing for rack-scale clusters (DESIGN.md §13-14).
 
 When an MN group joins or leaves a :class:`repro.dm.rack.Rack`, the
 shards the consistent-hash ring reassigns must move while traffic runs.
@@ -28,15 +28,31 @@ its copy departs is lost to the copy - last-writer-wins at copy time -
 the same relaxation online resharding systems document; the differential
 oracle treats both the pre- and post-copy value as possible.
 
-Under chaos the sweep degrades, never wedges: a retryable fault skips
-the key until the next sweep, and an ``MNUnavailable`` source (crashed
-MN group) forfeits the key's data but still marks it copied so the
-migration can complete - exactly what ``crash_mn`` means for a
-non-replicated cell.  A key whose copy keeps failing across
-``max_key_attempts`` sweeps is forfeited the same way: chaos-era
-"applied" write drops can leave a key in a state no online retry
-resolves (only ``fsck --repair`` can), and a migration must converge
-rather than sweep such a key forever.
+Under chaos the sweep degrades, never wedges, and the two degradation
+modes are accounted separately:
+
+* a retryable fault skips the key until the next sweep, and a key whose
+  copy keeps failing across ``max_key_attempts`` sweeps is forfeited as
+  **chaos damage** (``forfeited_chaos``): chaos-era "applied" write
+  drops can leave a key in a state no online retry resolves (only
+  ``fsck --repair`` can), and a migration must converge rather than
+  sweep such a key forever;
+* an ``MNUnavailable`` source (crashed MN group) forfeits the key as
+  **source-died** (``forfeited_dead``) *unless the rack replicates*
+  (``spec.replicas > 0``), in which case the sweep recovers the key's
+  value from a live replica and the copy proceeds - a crash mid-
+  migration loses nothing;
+* with replication, an ``MNUnavailable`` *destination* aborts the
+  migration outright: copied keys are restored to the source from the
+  replicas and the shard stays where it was (the failover manager
+  retires the dead destination; :meth:`Rebalancer.leave` re-plans any
+  move an abort interrupted).
+
+:meth:`Rebalancer.sync_replicas` is the replica-set reconciler the same
+machinery exposes to the failover manager: it moves a shard's replica
+set to whatever the current ring's successor chain picks, copying keys
+to newly chosen replica groups and dropping the shard's keys from
+groups that lost the role.
 """
 
 from __future__ import annotations
@@ -51,6 +67,8 @@ from ..errors import (
     MNUnavailable,
     RetryLimitExceeded,
 )
+
+_TRANSIENT = (RetryLimitExceeded, InjectedFault)
 
 
 class Rebalancer:
@@ -68,7 +86,22 @@ class Rebalancer:
         self.completed: List[Tuple[int, int, int, int]] = []
         #: Keys whose copy kept failing (chaos damage) and whose data was
         #: forfeited so the migration could converge.
-        self.forfeited: List[Tuple[int, bytes]] = []
+        self.forfeited_chaos: List[Tuple[int, bytes]] = []
+        #: Keys forfeited because their source cell died with no replica
+        #: to recover from (always empty when ``spec.replicas > 0`` and
+        #: the replica chain survives).
+        self.forfeited_dead: List[Tuple[int, bytes]] = []
+        #: ``[(shard, src, dst), ...]`` of migrations aborted because the
+        #: destination group died mid-copy (replicated racks only).
+        self.aborted: List[Tuple[int, int, int]] = []
+        #: Groups mid-drain: still ring members, but no longer eligible
+        #: replica targets (their keys are on the way out).
+        self.draining: set = set()
+
+    @property
+    def forfeited(self) -> List[Tuple[int, bytes]]:
+        """Every forfeited key, both modes lumped (legacy accessor)."""
+        return self.forfeited_chaos + self.forfeited_dead
 
     def _executor(self):
         return self.rack.cluster.sim_executor(self.cn_id, self.op_stats)
@@ -83,7 +116,13 @@ class Rebalancer:
         moves = rack.shards.plan_join(gid)
         rack.shards.commit_join(gid)
         for shard, src, dst in moves:
+            if rack.shards.assignment[shard] != src:
+                # A failover promotion re-homed the shard while earlier
+                # moves ran; this plan entry is stale.
+                continue
             yield from self.migrate_shard(shard, src, dst)
+        if rack.spec.replicas:
+            yield from self.sync_all_replicas()
         return gid
 
     def leave(self, gid: Optional[int] = None):
@@ -92,12 +131,177 @@ class Rebalancer:
         rack = self.rack
         if gid is None:
             gid = rack.live_groups()[0]
-        moves = rack.shards.plan_leave(gid)
+        self.draining.add(gid)
+        # A group that crashed before its drain started was already
+        # commit_left by the failover manager; nothing is left to plan.
+        moves = rack.shards.plan_leave(gid) \
+            if gid in rack.shards.groups else []
         for shard, src, dst in moves:
+            if rack.shards.assignment[shard] != src:
+                # The failover manager promoted this shard off the
+                # (crashed) draining group while an earlier move ran;
+                # its data lives at the new primary, so draining the
+                # stale source would forfeit live keys.
+                continue
             yield from self.migrate_shard(shard, src, dst)
-        rack.shards.commit_leave(gid)
+        if gid in rack.shards.groups:
+            # The failover manager commit_leaves a group the instant it
+            # dies; a planned drain of a group that crashed mid-drain
+            # must not commit it out of the ring twice.
+            rack.shards.commit_leave(gid)
+        if rack.spec.replicas:
+            # A destination death can abort a drain move; re-plan any
+            # shard still assigned to the leaving group against the
+            # shrunk ring until the group is fully drained.
+            # Intrinsic protocol bound, not a retry budget: each round
+            # re-plans against a ring that lost at least one candidate,
+            # so the rounds are bounded by the (tiny) group count.
+            for _attempt in range(3):  # lint: disable=L006
+                stuck = [] if gid in rack.failed_groups \
+                    else rack.shards.shards_of(gid)
+                if not stuck:
+                    break
+                for shard in stuck:
+                    dst = self._pick_owner(shard, exclude={gid})
+                    if dst is None:
+                        break
+                    yield from self.migrate_shard(shard, gid, dst)
+            yield from self.sync_all_replicas()
         rack.retired_groups.add(gid)
+        self.draining.discard(gid)
         return gid
+
+    def _pick_owner(self, shard: int, exclude=()) -> Optional[int]:
+        """First group on the current ring chain that can own ``shard``."""
+        rack = self.rack
+        banned = set(exclude) | rack.failed_groups | rack.retired_groups
+        for gid in rack.shards.owner_chain(shard):
+            if gid not in banned:
+                return gid
+        return None
+
+    # -- replica recovery helpers ------------------------------------------
+    def _read_from_replicas(self, shard: int, key: bytes, executor):
+        """Recover ``key``'s value from the freshest live replica chain;
+        returns ``None`` when no live replica holds it."""
+        rack = self.rack
+        for gid in rack.live_replicas(shard):
+            client = rack.group_index(gid).client(self.cn_id)
+            try:
+                value = yield from executor.run(client.search(key))
+            except (MNUnavailable,) + _TRANSIENT:
+                continue
+            if value is not None:
+                rack.repl.inc("replica_recovered_reads")
+                return value
+        return None
+
+    def _abort_migration(self, migration: Migration, executor):
+        """Destination died mid-copy: restore copied keys to the source
+        and retire the migration without flipping.  Source copies are
+        deleted only after a replicated migration completes, so the
+        common case finds every copied key still at the source; replicas
+        back up anything the source lost."""
+        rack = self.rack
+        shard = migration.shard
+        src_client = rack.group_index(migration.src).client(self.cn_id)
+        for key in sorted(rack.registry[shard] & migration.copied):
+            try:
+                value = yield from executor.run(src_client.search(key))
+            except _TRANSIENT + (MNUnavailable,):
+                value = None
+            except ClientCrash:
+                executor = self._executor()
+                value = None
+            if value is not None:
+                continue              # the source never lost it
+            value = yield from self._read_from_replicas(shard, key, executor)
+            if value is None:
+                rack.registry[shard].discard(key)
+                self.forfeited_dead.append((shard, key))
+                continue
+            try:
+                yield from executor.run(src_client.insert(key, value))
+            except _TRANSIENT + (MNUnavailable,):
+                rack.registry[shard].discard(key)
+                self.forfeited_dead.append((shard, key))
+            except ClientCrash:
+                executor = self._executor()
+        del rack.migrations[shard]
+        self.aborted.append((shard, migration.src, migration.dst))
+        rack.repl.inc("migrations_aborted")
+
+    def sync_all_replicas(self):
+        """Reconcile every shard's replica set to the current ring."""
+        for shard in range(self.rack.spec.num_shards):
+            yield from self.sync_replicas(shard)
+
+    def sync_replicas(self, shard: int):
+        """Move ``shard``'s replica set to the current ring's successor-
+        chain picks: copy the shard's keys to groups gaining the replica
+        role, drop them from live groups losing it.  Returns the number
+        of keys copied.  A no-op at K=0 and whenever the materialized
+        set already matches - the common case, so calling this for every
+        shard after a membership change stays cheap."""
+        rack = self.rack
+        if not rack.spec.replicas:
+            return 0
+        exclude = rack.retired_groups | rack.failed_groups | self.draining
+        desired = rack.shards.desired_replicas(shard, exclude=exclude)
+        current = rack.shards.replica_assignment[shard]
+        if desired == current:
+            return 0
+        primary = rack.shards.assignment[shard]
+        executor = self._executor()
+        copied = 0
+        for gid in [g for g in desired if g not in current]:
+            dst_client = rack.group_index(gid).client(self.cn_id)
+            for key in sorted(rack.registry[shard]):
+                value = None
+                try:
+                    pclient = rack.group_index(primary).client(self.cn_id)
+                    value = yield from executor.run(pclient.search(key))
+                except MNUnavailable:
+                    value = yield from self._read_from_replicas(
+                        shard, key, executor)
+                except _TRANSIENT:
+                    pass
+                except ClientCrash:
+                    executor = self._executor()
+                if value is None:
+                    # Unreadable right now: leave the replica lagging and
+                    # let anti-entropy repair it.
+                    lag = rack.replica_lag[shard]
+                    lag[gid] = lag.get(gid, 0) + 1
+                    continue
+                try:
+                    yield from executor.run(dst_client.insert(key, value))
+                    copied += 1
+                except _TRANSIENT + (MNUnavailable,):
+                    lag = rack.replica_lag[shard]
+                    lag[gid] = lag.get(gid, 0) + 1
+                except ClientCrash:
+                    executor = self._executor()
+        for gid in [g for g in current if g not in desired]:
+            rack.replica_lag[shard].pop(gid, None)
+            if gid == primary or gid in rack.failed_groups \
+                    or gid in rack.retired_groups:
+                # A promoted replica keeps its data (it *is* the
+                # primary's data now); dead/retiring cells keep theirs
+                # for the coroner.
+                continue
+            dst_client = rack.group_index(gid).client(self.cn_id)
+            for key in sorted(rack.registry[shard]):
+                try:
+                    yield from executor.run(dst_client.delete(key))
+                except _TRANSIENT + (MNUnavailable,):
+                    pass
+                except ClientCrash:
+                    executor = self._executor()
+        rack.shards.replica_assignment[shard] = desired
+        if copied:
+            rack.repl.inc("rereplicated_keys", copied)
+        return copied
 
     def migrate_shard(self, shard: int, src: int, dst: int):
         """Copy one shard from group ``src`` to ``dst`` (see protocol
@@ -110,38 +314,72 @@ class Rebalancer:
         executor = self._executor()
         moved = 0
         failures: dict = {}
+        # Replicated racks retire source copies only after the whole
+        # shard is moved: if the destination is also the shard's replica
+        # group, a per-key source delete would leave both live copies of
+        # a copied key on one group mid-migration, and that group's
+        # death would forfeit it.  Deferring the deletes keeps the
+        # source a full fallback for the abort path.  K=0 keeps the
+        # original per-key delete (and its verb schedule) exactly.
+        deferred_deletes: List[bytes] = []
+
+        def transient_forfeit(key: bytes) -> None:
+            # Transient: leave the key pending; the next sweep retries
+            # it - up to the per-key budget, past which the damage is
+            # beyond online repair and the key's data is forfeit (fsck
+            # finds the debris).
+            failures[key] = failures.get(key, 0) + 1
+            if failures[key] >= self.max_key_attempts:
+                migration.copied.add(key)
+                rack.registry[shard].discard(key)
+                self.forfeited_chaos.append((shard, key))
+
         while True:
             pending = sorted(rack.registry[shard] - migration.copied)
             if not pending:
                 break
             for key in pending:
+                recovered = False
                 try:
                     value = yield from executor.run(src_client.search(key))
-                    if value is not None:
-                        yield from executor.run(
-                            dst_client.insert(key, value))
-                except (RetryLimitExceeded, InjectedFault):
-                    # Transient: leave the key pending; the next sweep
-                    # retries it - up to the per-key budget, past which
-                    # the damage is beyond online repair and the key's
-                    # data is forfeit (fsck finds the debris).
-                    failures[key] = failures.get(key, 0) + 1
-                    if failures[key] >= self.max_key_attempts:
-                        migration.copied.add(key)
-                        rack.registry[shard].discard(key)
-                        self.forfeited.append((shard, key))
+                except _TRANSIENT:
+                    transient_forfeit(key)
                     continue
                 except MNUnavailable:
-                    # The source cell is gone: the key's data is forfeit
-                    # (non-replicated cell), but the migration must still
-                    # converge - mark it copied and move on.
-                    migration.copied.add(key)
-                    rack.registry[shard].discard(key)
-                    continue
+                    if rack.spec.replicas:
+                        value = yield from self._read_from_replicas(
+                            shard, key, executor)
+                        recovered = value is not None
+                    if not recovered:
+                        # The source cell is gone and nothing replicates
+                        # it: the key's data is forfeit, but the
+                        # migration must still converge - mark it copied
+                        # and move on.
+                        migration.copied.add(key)
+                        rack.registry[shard].discard(key)
+                        self.forfeited_dead.append((shard, key))
+                        continue
                 except ClientCrash:
                     # The coordinator CN was a crash victim: continue the
                     # sweep with a fresh executor, as the recovery
                     # manager's daemons do.
+                    executor = self._executor()
+                    continue
+                try:
+                    if value is not None:
+                        yield from executor.run(dst_client.insert(key, value))
+                except _TRANSIENT:
+                    transient_forfeit(key)
+                    continue
+                except MNUnavailable:
+                    if rack.spec.replicas:
+                        yield from self._abort_migration(migration, executor)
+                        return
+                    migration.copied.add(key)
+                    rack.registry[shard].discard(key)
+                    self.forfeited_dead.append((shard, key))
+                    continue
+                except ClientCrash:
                     executor = self._executor()
                     continue
                 # The copy is durable at the destination: flip the router
@@ -150,10 +388,16 @@ class Rebalancer:
                 migration.copied.add(key)
                 if value is not None:
                     moved += 1
+                    if recovered:
+                        # The source cell is dead; there is no copy to
+                        # retire there.
+                        continue
+                    if rack.spec.replicas:
+                        deferred_deletes.append(key)
+                        continue
                     try:
                         yield from executor.run(src_client.delete(key))
-                    except (RetryLimitExceeded, InjectedFault,
-                            MNUnavailable):
+                    except _TRANSIENT + (MNUnavailable,):
                         # The key is already routed to the destination;
                         # a source copy that outlives a faulted delete is
                         # an orphan in a cell that is either about to
@@ -163,4 +407,15 @@ class Rebalancer:
                         executor = self._executor()
         rack.shards.assignment[shard] = dst
         del rack.migrations[shard]
+        for key in deferred_deletes:
+            # Unconditional: even a key concurrently deleted or updated
+            # mid-migration must lose its (stale) source copy.
+            try:
+                yield from executor.run(src_client.delete(key))
+            except _TRANSIENT + (MNUnavailable,):
+                pass
+            except ClientCrash:
+                executor = self._executor()
         self.completed.append((shard, src, dst, moved))
+        if rack.spec.replicas:
+            yield from self.sync_replicas(shard)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..dm.rack import ClusterSpec, Rack, TopologyEvent
+from ..recover.failover import FailoverManager
 from ..recover.rebalance import Rebalancer
 from ..ycsb.datasets import make_dataset
 from ..ycsb.runner import RunResult, bulk_load, run_workload
@@ -47,22 +48,36 @@ class RackRunResult:
     topology: List[Dict]
     fsck_exit: int
     fsck_reports: list = field(repr=False, default_factory=list)
+    #: Rebalancer accounting: shards/keys moved plus the forfeit split
+    #: (chaos-damaged vs source-died) and aborted migrations.
+    rebalance: Dict = field(default_factory=dict)
+    #: Replication digest (counters, promotions, forfeits, epochs);
+    #: ``None`` on an unreplicated (K=0) run.
+    replication: Optional[Dict] = None
+    #: The run's FailoverManager (promotion/forfeit logs for the
+    #: property suites); ``None`` when K=0.
+    failover: Optional[FailoverManager] = field(repr=False, default=None)
 
     def rows(self) -> Dict:
         """A JSON-serializable digest: the aggregate row, per-tenant
-        rows, the topology log, and the fsck verdict.  Two same-seed
-        runs must produce byte-identical ``rows()`` - the CI
-        determinism cell diffs exactly this."""
+        rows, the topology log, rebalance/replication accounting, and
+        the fsck verdict.  Two same-seed runs must produce byte-identical
+        ``rows()`` - the CI determinism cell diffs exactly this."""
         row = self.result.row()
         row["sim_ns"] = self.result.sim_ns
         row["failed_ops"] = self.result.failed_ops
         row["crashed_workers"] = self.result.crashed_workers
-        return {
+        row["degraded_ops"] = self.result.degraded_ops
+        out = {
             "aggregate": row,
             "tenants": self.tenants,
             "topology": self.topology,
+            "rebalance": self.rebalance,
             "fsck_exit": self.fsck_exit,
         }
+        if self.replication is not None:
+            out["replication"] = self.replication
+        return out
 
 
 def _fsck_exit(report) -> int:
@@ -109,6 +124,7 @@ def run_rack(spec: Optional[ClusterSpec] = None, *,
              events: Sequence[TopologyEvent] = (),
              chaos_seed: Optional[int] = None,
              chaos_crashes: bool = False,
+             fault_plan=None,
              recovery: bool = False,
              fsck_repair: bool = False,
              index_factory=None,
@@ -119,6 +135,13 @@ def run_rack(spec: Optional[ClusterSpec] = None, *,
     deterministic :func:`default_tenants` roster of that size), or
     ``None`` for a single-tenant run on the plain runner path.  The
     rack's ``spec.clients`` client generators are the run's workers.
+
+    ``fault_plan`` attaches an explicit :class:`repro.fault.FaultPlan`
+    (e.g. a scheduled ``crash_mn``) instead of the ``chaos_seed``
+    generated one; with ``spec.replicas > 0`` a ``replicationd`` daemon
+    runs next to the traffic - failing over dead groups online and
+    sweeping anti-entropy repairs - and the run settles all failover
+    work before the final fsck.
     """
     spec = spec if spec is not None else ClusterSpec()
     for event in events:
@@ -127,7 +150,9 @@ def run_rack(spec: Optional[ClusterSpec] = None, *,
     dataset = make_dataset(dataset_name, num_keys, seed=1,
                            insert_pool=insert_pool)
     bulk_load(rack.cluster, rack, dataset)
-    if chaos_seed is not None:
+    if fault_plan is not None:
+        rack.cluster.attach_faults(fault_plan)
+    elif chaos_seed is not None:
         from ..fault import FaultPlan  # local: fault is optional here
         rack.cluster.attach_faults(FaultPlan.chaos(
             chaos_seed, crashes=chaos_crashes, num_mns=spec.num_mns))
@@ -143,6 +168,10 @@ def run_rack(spec: Optional[ClusterSpec] = None, *,
     topology_log: List[Dict] = []
     topo_proc = None
     rebalancer = Rebalancer(rack)
+    failover = None
+    if spec.replicas > 0:
+        failover = FailoverManager(rack, rebalancer)
+        engine.process(failover.daemon(), name="replicationd")
     if events:
         topo_proc = engine.process(
             _topology_daemon(rack, rebalancer, events, start_ns,
@@ -158,10 +187,36 @@ def run_rack(spec: Optional[ClusterSpec] = None, *,
         # any not-yet-due events) to completion on the same clock.
         engine.run_until_complete(topo_proc,
                                   limit=start_ns + 2 * time_limit_ns)
+    if failover is not None:
+        # Settle: fail over any still-unhandled dead group, reconcile
+        # every replica set, and run one full anti-entropy pass, so the
+        # fsck below sees replicas at rest, not mid-repair.
+        engine.run_until_complete(
+            engine.process(failover.settle(), name="replication-settle"),
+            limit=start_ns + 4 * time_limit_ns)
     fsck_reports = rack.fsck_all(repair=fsck_repair)
     fsck_exit = max((_fsck_exit(report) for _gid, report in fsck_reports),
                     default=0)
+    rebalance_row = {
+        "shards_moved": len(rebalancer.completed),
+        "keys_moved": sum(m[3] for m in rebalancer.completed),
+        "forfeited_chaos": len(rebalancer.forfeited_chaos),
+        "forfeited_dead": len(rebalancer.forfeited_dead),
+        "aborted_migrations": len(rebalancer.aborted),
+    }
+    replication_row = None
+    if failover is not None:
+        replication_row = {
+            "counters": dict(sorted(rack.repl.as_dict().items())),
+            "promotions": len(failover.promotions),
+            "failover_forfeited_keys": len(failover.forfeited),
+            "mid_migration_failovers": failover.mid_migration_failovers,
+            "max_epoch": max(rack.epochs),
+        }
     return RackRunResult(result=result, rack=rack,
                          tenants=result.tenants or [],
                          topology=topology_log,
-                         fsck_exit=fsck_exit, fsck_reports=fsck_reports)
+                         fsck_exit=fsck_exit, fsck_reports=fsck_reports,
+                         rebalance=rebalance_row,
+                         replication=replication_row,
+                         failover=failover)

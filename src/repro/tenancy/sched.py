@@ -78,6 +78,18 @@ class TenancyController:
         self.latency = [LatencyRecorder() for _ in range(n)]
         self.ops_done = [0] * n
         self.failed_ops = [0] * n
+        # Degraded-mode failures: ops that died on MNUnavailable or
+        # StaleEpoch (a dead shard / a failover fence), counted apart
+        # from chaos retries so rack tables show who served through an
+        # outage and who paid for it.
+        self.degraded_ops = [0] * n
+        # Retry budgets: failed ops charged against TenantSpec.
+        # retry_budget; once spent, the tenant only wins admission when
+        # no in-budget tenant is ready.
+        self.retry_spent = [0] * n
+        self.budget_deferrals = [0] * n
+        self._has_budgets = any(t.retry_budget is not None
+                                for t in self.tenants)
         # Run-wide throttle accounting (a wait with every bucket empty
         # belongs to no single tenant).
         self.throttle_waits = 0
@@ -92,6 +104,13 @@ class TenancyController:
         ready = [t for t, bucket in enumerate(self.buckets)
                  if bucket is None or bucket.ready_ns(now_ns) <= now_ns]
         if ready:
+            if self._has_budgets:
+                in_budget = [t for t in ready if not self.over_budget(t)]
+                if in_budget and len(in_budget) < len(ready):
+                    for t in ready:
+                        if t not in in_budget:
+                            self.budget_deferrals[t] += 1
+                    ready = in_budget
             tenant = self.sched.pick(ready)
             bucket = self.buckets[tenant]
             if bucket is not None:
@@ -103,6 +122,18 @@ class TenancyController:
         self.throttle_waits += 1
         self.throttle_wait_ns += wait
         return -1, wait
+
+    # -- retry budgets -----------------------------------------------------
+    def over_budget(self, tenant: int) -> bool:
+        """``True`` once ``tenant`` has spent its whole retry budget."""
+        budget = self.tenants[tenant].retry_budget
+        return budget is not None and self.retry_spent[tenant] >= budget
+
+    def charge_retry(self, tenant: int, amount: int = 1) -> None:
+        """Charge ``amount`` failed ops against ``tenant``'s budget.
+        Tenants without a budget still accumulate ``retry_spent`` for
+        reporting; only budgeted tenants can be demoted by it."""
+        self.retry_spent[tenant] += amount
 
     # -- results -----------------------------------------------------------
     def merge_opstats_into(self, total: OpStats) -> None:
@@ -132,6 +163,10 @@ class TenancyController:
                 "rate_ops_per_s": spec.rate_ops_per_s,
                 "ops": ops,
                 "failed_ops": failed,
+                "degraded_ops": self.degraded_ops[t],
+                "retry_budget": spec.retry_budget,
+                "retry_spent": self.retry_spent[t],
+                "budget_deferrals": self.budget_deferrals[t],
                 "goodput_mops": round((ops - failed) / seconds / 1e6, 4),
                 "avg_latency_us": round(self.latency[t].mean() / 1e3, 3),
                 "p99_latency_us": round(

@@ -32,6 +32,14 @@ class TenantSpec:
     rate_ops_per_s: Optional[int] = None
     #: Burst allowance of the token bucket, in ops.
     burst_ops: int = 8
+    #: Failed-op budget under chaos: how many failed ops (retry storms,
+    #: injected faults, degraded-mode errors) this tenant may burn per
+    #: run before the controller demotes it to best-effort admission -
+    #: an over-budget tenant is only scheduled when no in-budget tenant
+    #: is ready, so one tenant's retry storm against a dead shard cannot
+    #: starve the rest of the roster.  ``None`` leaves the tenant
+    #: unbudgeted (every existing roster, so schedules are unchanged).
+    retry_budget: Optional[int] = None
 
     def validate(self) -> None:
         if not self.name:
@@ -42,6 +50,9 @@ class TenantSpec:
             raise ConfigError(f"tenant {self.name}: rate must be >= 1 op/s")
         if self.burst_ops < 1:
             raise ConfigError(f"tenant {self.name}: burst must be >= 1 op")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ConfigError(
+                f"tenant {self.name}: retry_budget must be >= 0")
 
     def workload_spec(self):
         from ..ycsb.workloads import workload  # local: ycsb is a consumer

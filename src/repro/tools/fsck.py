@@ -163,6 +163,47 @@ def _read_leaf_raw(cluster: Cluster, addr: int, units: int):
     return decode_leaf(memory.read(addr_offset(addr), units * 64))
 
 
+def collect_leaves(cluster: Cluster, root_addr: int) -> Dict[bytes, bytes]:
+    """Best-effort offline ``{key: value}`` enumeration of one cell.
+
+    A light sibling of :func:`check_tree` for the rack's replica-
+    agreement stage: pure memory walks (no clock, no verbs, no injector
+    RNG), collecting every valid, checksum-ok leaf and silently skipping
+    dead MNs and undecodable structure - structural damage is
+    :func:`check_tree`'s job, not this walk's.
+    """
+    out: Dict[bytes, bytes] = {}
+    visited: Set[int] = set()
+    dead = _dead_mns(cluster)
+
+    def walk(addr: int, node_type: int) -> None:
+        if addr in visited or addr_mn(addr) in dead:
+            return
+        visited.add(addr)
+        try:
+            view = _read_node_raw(cluster, addr, node_type)
+        except ReproError:
+            return
+        if view.header.status == STATUS_INVALID:
+            return
+        for slot in view.occupied_slots():
+            if slot.is_leaf:
+                if addr_mn(slot.addr) in dead:
+                    continue
+                try:
+                    leaf = _read_leaf_raw(cluster, slot.addr,
+                                          slot.size_class)
+                except ReproError:
+                    continue
+                if leaf.status != STATUS_INVALID and leaf.checksum_ok:
+                    out[leaf.key] = leaf.value
+            else:
+                walk(slot.addr, slot.size_class)
+
+    walk(root_addr, NODE256)
+    return out
+
+
 def check_tree(cluster: Cluster, root_addr: int,
                report: Optional[FsckReport] = None
                ) -> Tuple[FsckReport, Dict[bytes, int]]:

@@ -141,3 +141,25 @@ class ConsistentHashRing:
 
     def lookup_int(self, value: int) -> int:
         return self.lookup(value.to_bytes(8, "little", signed=False))
+
+    def lookup_chain(self, data: bytes, count: int) -> List[int]:
+        """The first ``count`` *distinct* members at/after ``data``'s
+        token, in ring order (the successor chain replica placement
+        walks).  ``lookup_chain(data, 1)[0] == lookup(data)``; asking
+        for more members than the ring has returns them all.
+        """
+        if count < 1:
+            raise InvalidArgument("chain length must be >= 1")
+        h = hash64(data, self._seed ^ 0xC0FFEE)
+        start = bisect.bisect_right(self._tokens, h)
+        n = len(self._tokens)
+        chain: List[int] = []
+        seen = set()
+        for step in range(n):
+            member = self._owners[(start + step) % n]
+            if member not in seen:
+                seen.add(member)
+                chain.append(member)
+                if len(chain) == count:
+                    break
+        return chain

@@ -27,6 +27,7 @@ from ..errors import (
     InjectedFault,
     MNUnavailable,
     RetryLimitExceeded,
+    StaleEpoch,
 )
 from ..obs.counters import Counters, client_counters
 from ..sim.resources import LatencyRecorder
@@ -64,6 +65,10 @@ class RunResult:
     # Workers killed mid-run by ``crash_cn`` (their unfinished ops count
     # into failed_ops, so goodput reflects the lost capacity).
     crashed_workers: int = 0
+    # The subset of failed_ops that died in degraded mode - on a dead
+    # MN group (MNUnavailable) or a failover fence (StaleEpoch) - as
+    # opposed to transient chaos retries.  Zero on fault-free runs.
+    degraded_ops: int = 0
     # Host-side performance of producing this result (wall seconds, engine
     # events, ...).  Filled by the harness grid runner; not part of row(),
     # which only carries simulated-world outputs.
@@ -248,12 +253,20 @@ def _worker(cluster: Cluster, index, state: _SharedRunState, wid: int,
                 new = _value(i, spec.value_size) if value is None else \
                     bytes(reversed(value))
                 yield from executor.run(client.update(key, new))
-        except (RetryLimitExceeded, InjectedFault, MNUnavailable):
+        except (MNUnavailable, StaleEpoch):
+            # Degraded-mode failure: the op routed to a dead MN group
+            # (and every replica, if any, was also down) or raced a
+            # failover fence.  Fail-fast by design - one typed error
+            # per op, no retry storm - and counted apart from chaos
+            # retries so rack tables can show outage cost distinctly.
+            if failed is None:
+                raise
+            failed["ops"] += 1
+            failed["degraded"] += 1
+        except (RetryLimitExceeded, InjectedFault):
             # Clean per-op failure under fault injection: count it
             # against goodput and keep the closed loop running.  With no
             # plan attached these exceptions stay fatal, as before.
-            # MNUnavailable (crash_mn) fails fast by design - one typed
-            # error per op, no retry storm.
             if failed is None:
                 raise
             failed["ops"] += 1
@@ -373,11 +386,23 @@ def _tenant_worker(cluster: Cluster, index, state: _SharedRunState,
                 new = _value(i, spec.value_size) if value is None else \
                     bytes(reversed(value))
                 yield from executor.run(client.update(key, new))
-        except (RetryLimitExceeded, InjectedFault, MNUnavailable):
+        except (MNUnavailable, StaleEpoch):
+            # Degraded-mode failure (dead group / failover fence),
+            # charged to the issuing tenant's failure count, degraded
+            # count, and retry budget alike.
+            if failed is None:
+                raise
+            failed["ops"] += 1
+            failed["degraded"] += 1
+            controller.failed_ops[tenant] += 1
+            controller.degraded_ops[tenant] += 1
+            controller.charge_retry(tenant)
+        except (RetryLimitExceeded, InjectedFault):
             if failed is None:
                 raise
             failed["ops"] += 1
             controller.failed_ops[tenant] += 1
+            controller.charge_retry(tenant)
         except ClientCrash:
             # The dying op is charged to the tenant that issued it; the
             # capacity this dead worker would still have contributed is
@@ -454,7 +479,7 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
     start_ns = engine.now
     per_worker = ops // workers
     actual_ops = per_worker * workers
-    failed = {"ops": 0, "crashed": 0} \
+    failed = {"ops": 0, "crashed": 0, "degraded": 0} \
         if cluster.injector is not None else None
     if cluster.recovery is not None:
         engine.process(_recovery_daemon(cluster, index, cluster.recovery),
@@ -493,6 +518,7 @@ def run_workload(cluster: Cluster, index, spec: WorkloadSpec,
                      latency_by_op=latency_by_op,
                      failed_ops=failed["ops"] if failed else 0,
                      crashed_workers=failed["crashed"] if failed else 0,
+                     degraded_ops=failed["degraded"] if failed else 0,
                      faults=dict(cluster.injector.counters)
                      if cluster.injector is not None else {},
                      tenants=tenancy.tenant_rows(sim_ns)

@@ -1,0 +1,18 @@
+"""S003: a replica apply escapes the epoch-fence window.
+
+The fenced protocol locks the replica cell, applies the primary's
+value, stamps the epoch, and releases; here the epoch stamp lands
+*after* the release, so a failover promotion that advances the epoch
+can interleave and the replica silently diverges."""
+
+
+def apply_to_replica(replica_addr, slot, value, epoch_word):
+    swapped, _ = yield CasOp(replica_addr, pack(locked=0), pack(locked=1),
+                             lease=("epoch",))
+    if not swapped:
+        return False
+    yield WriteOp(replica_addr + 8 * slot, value)
+    yield WriteOp(replica_addr, pack(locked=0), lease=("release",))
+    # BUG: the epoch stamp races the next failover promotion.
+    yield WriteOp(replica_addr + 4, epoch_word)
+    return True

@@ -1,0 +1,16 @@
+"""Near-miss for S003: the fenced replica apply done right.
+
+Value *and* epoch stamp both land inside the epoch-fence window, so a
+failover promotion that advances the epoch can never race a straggler
+replica write."""
+
+
+def apply_to_replica(replica_addr, slot, value, epoch_word):
+    swapped, _ = yield CasOp(replica_addr, pack(locked=0), pack(locked=1),
+                             lease=("epoch",))
+    if not swapped:
+        return False
+    yield WriteOp(replica_addr + 8 * slot, value)
+    yield WriteOp(replica_addr + 4, epoch_word)
+    yield WriteOp(replica_addr, pack(locked=0), lease=("release",))
+    return True
